@@ -1,0 +1,104 @@
+// Command gemc compiles and checks a GEM specification written in the
+// concrete syntax (see internal/gemlang): it parses the file, validates
+// the element/group/thread structure, and prints a summary of the
+// compiled specification — or, with -format, re-emits it as canonical
+// GEM source.
+//
+// Usage:
+//
+//	gemc [-format] FILE.gem
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gem/internal/gemlang"
+	"gem/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gemc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	format := false
+	if len(args) > 0 && args[0] == "-format" {
+		format = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: gemc [-format] FILE.gem")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	s, err := gemlang.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if format {
+		fmt.Print(gemlang.Format(s))
+		return nil
+	}
+	dump(s)
+	return nil
+}
+
+func dump(s *spec.Spec) {
+	fmt.Printf("specification %s\n", s.Name)
+	for _, name := range s.ElementNames() {
+		d, _ := s.Element(name)
+		fmt.Printf("  element %s", name)
+		if d.TypeName != "" {
+			fmt.Printf(" : %s", d.TypeName)
+		}
+		fmt.Println()
+		for _, ec := range d.Events {
+			fmt.Printf("    event %s", ec.Name)
+			if len(ec.Params) > 0 {
+				fmt.Print("(")
+				for i, p := range ec.Params {
+					if i > 0 {
+						fmt.Print(", ")
+					}
+					fmt.Printf("%s: %s", p.Name, p.Type)
+				}
+				fmt.Print(")")
+			}
+			fmt.Println()
+		}
+		for _, r := range d.Restrictions {
+			fmt.Printf("    restriction %q\n", r.Name)
+		}
+	}
+	for _, name := range s.GroupNames() {
+		g, _ := s.Group(name)
+		fmt.Printf("  group %s members=%v", name, g.Members)
+		if len(g.Ports) > 0 {
+			fmt.Print(" ports=")
+			for i, p := range g.Ports {
+				if i > 0 {
+					fmt.Print(",")
+				}
+				fmt.Printf("%s.%s", p.Element, p.Class)
+			}
+		}
+		fmt.Println()
+		for _, r := range g.Restrictions {
+			fmt.Printf("    restriction %q\n", r.Name)
+		}
+	}
+	for _, tt := range s.Threads() {
+		fmt.Printf("  thread %s path=%d classes\n", tt.Name, len(tt.Path))
+	}
+	count := len(s.Restrictions())
+	fmt.Printf("  %d restriction(s) total\n", count)
+}

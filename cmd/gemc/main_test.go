@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnShippedSpec(t *testing.T) {
+	if err := run([]string{"../../examples/specs/readerswriters.gem"}); err != nil {
+		t.Fatalf("gemc on the shipped spec: %v", err)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments must fail")
+	}
+	if err := run([]string{"a", "b"}); err == nil {
+		t.Error("two arguments must fail")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent.gem"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gem")
+	if err := os.WriteFile(bad, []byte("ELEMENT X EVENTS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("parse error must be reported")
+	}
+}
+
+func TestRunValidationError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "invalid.gem")
+	src := "GROUP G MEMBERS(ghost) END\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("validation error must be reported")
+	}
+}
+
+func TestRunFormatRoundTrip(t *testing.T) {
+	if err := run([]string{"-format", "../../examples/specs/readerswriters.gem"}); err != nil {
+		t.Fatalf("gemc -format: %v", err)
+	}
+}
+
+func TestRunOnBoundedBufferSpec(t *testing.T) {
+	if err := run([]string{"../../examples/specs/boundedbuffer.gem"}); err != nil {
+		t.Fatalf("gemc on the bounded-buffer spec: %v", err)
+	}
+}

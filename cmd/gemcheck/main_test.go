@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestChecks(t *testing.T) {
+	for _, sub := range []string{"access", "histories", "rw", "distributed"} {
+		sub := sub
+		t.Run(sub, func(t *testing.T) {
+			if err := run([]string{sub}); err != nil {
+				t.Fatalf("gemcheck %s: %v", sub, err)
+			}
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments must fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown check must fail")
+	}
+}

@@ -1,0 +1,3 @@
+module gem
+
+go 1.22

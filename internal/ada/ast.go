@@ -1,0 +1,190 @@
+// Package ada implements the ADA tasking primitive described by the
+// paper: tasks communicating by rendezvous (entry call / accept), with
+// selective wait. It provides a mini-language, an exhaustive-interleaving
+// simulator emitting GEM computations, and the GEM specification of the
+// rendezvous.
+//
+// Event model:
+//
+//	<task>                 Call(task, entry, v), Return(entry, result),
+//	                       local Op events
+//	<task>.<entry>         AcceptStart(v), AcceptEnd — rendezvous interval
+//	<task>.<var>           Assign(newval)
+//
+// A rendezvous emits: caller's Call ⊳ callee's AcceptStart, the accept
+// body's events, then AcceptEnd ⊳ caller's Return. The caller is blocked
+// for the whole interval — ADA's extended rendezvous.
+package ada
+
+import "fmt"
+
+// Expr is an integer expression over task variables and accept formal
+// parameters.
+type Expr interface {
+	eval(env *evalEnv) int64
+	String() string
+}
+
+type evalEnv struct {
+	vars map[string]int64
+	args map[string]int64
+}
+
+// IntLit is an integer literal.
+type IntLit int64
+
+func (e IntLit) eval(*evalEnv) int64 { return int64(e) }
+func (e IntLit) String() string      { return fmt.Sprintf("%d", int64(e)) }
+
+// VarRef reads an accept parameter or task variable (parameters shadow
+// variables).
+type VarRef string
+
+func (e VarRef) eval(env *evalEnv) int64 {
+	if v, ok := env.args[string(e)]; ok {
+		return v
+	}
+	if v, ok := env.vars[string(e)]; ok {
+		return v
+	}
+	panic(fmt.Sprintf("ada: undefined name %q", string(e)))
+}
+func (e VarRef) String() string { return string(e) }
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (e Bin) eval(env *evalEnv) int64 {
+	l, r := e.L.eval(env), e.R.eval(env)
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpEq:
+		return b2i(l == r)
+	case OpNe:
+		return b2i(l != r)
+	case OpLt:
+		return b2i(l < r)
+	case OpLe:
+		return b2i(l <= r)
+	case OpGt:
+		return b2i(l > r)
+	case OpGe:
+		return b2i(l >= r)
+	default:
+		panic(fmt.Sprintf("ada: unknown operator %d", e.Op))
+	}
+}
+func (e Bin) String() string { return fmt.Sprintf("(%s op%d %s)", e.L, e.Op, e.R) }
+
+// Stmt is a task statement.
+type Stmt interface{ adaStmt() }
+
+// Assign updates a task variable, emitting an Assign event at the
+// variable's element.
+type Assign struct {
+	Var string
+	E   Expr
+}
+
+// Op emits a local event. With Element == "" the event occurs at the
+// task element. With Element set it occurs at that external shared
+// element, with shared-variable semantics for the Assign (stores
+// "newval") and Getval (reports the cell as "oldval") classes.
+type Op struct {
+	Class   string
+	Params  map[string]Expr
+	Element string
+}
+
+// EntryCall calls Task.Entry with an optional integer argument.
+type EntryCall struct {
+	Task  string
+	Entry string
+	Arg   Expr // may be nil
+}
+
+// Accept waits for a caller on the entry and executes the body during the
+// rendezvous. Param names the formal parameter bound to the caller's
+// argument ("" for parameterless entries).
+type Accept struct {
+	Entry string
+	Param string
+	Body  []Stmt
+}
+
+// Reply sets the result returned to the current rendezvous caller (an
+// out-parameter; carried on the caller's Return event).
+type Reply struct{ E Expr }
+
+// Select is ADA's selective wait over accept alternatives, with an
+// optional else-part taken when no alternative is ready.
+type Select struct {
+	Alts []SelectAlt
+	Else []Stmt // nil: no else part (select blocks)
+}
+
+// SelectAlt is one "when Guard => accept …" alternative.
+type SelectAlt struct {
+	Guard  Expr // nil = open
+	Accept Accept
+}
+
+// Repeat unrolls its body N times.
+type Repeat struct {
+	N    int
+	Body []Stmt
+}
+
+func (Assign) adaStmt()    {}
+func (Op) adaStmt()        {}
+func (EntryCall) adaStmt() {}
+func (Accept) adaStmt()    {}
+func (Reply) adaStmt()     {}
+func (Select) adaStmt()    {}
+func (Repeat) adaStmt()    {}
+
+// Task is one ADA task.
+type Task struct {
+	Name    string
+	Entries []string // declared entry names
+	Vars    []string // integer variables, zero-initialized
+	Body    []Stmt
+}
+
+// Program is a set of tasks.
+type Program struct {
+	Tasks []Task
+}
+
+// EntryElement names the element of a task entry.
+func EntryElement(task, entry string) string { return task + "." + entry }
+
+// VarElement names the element of a task variable.
+func VarElement(task, v string) string { return task + "." + v }

@@ -1,0 +1,308 @@
+// Package check assembles the paper's verification case studies into
+// runnable scenarios: the full language × problem matrix of Section 11
+// (Monitor, CSP, and ADA solutions to the One-Slot Buffer, the Bounded
+// Buffer, and the Reader's-Priority Readers/Writers problem), each
+// verified with the Section 9 sat methodology over an exhaustive
+// exploration. cmd/gemverify prints the matrix; the benchmark harness
+// reuses the same scenarios.
+package check
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gem/internal/ada"
+	"gem/internal/core"
+	"gem/internal/csp"
+	"gem/internal/logic"
+	"gem/internal/monitor"
+	"gem/internal/problems/boundedbuf"
+	"gem/internal/problems/oneslot"
+	"gem/internal/problems/rw"
+	"gem/internal/spec"
+	"gem/internal/verify"
+)
+
+// Language names a concurrency primitive.
+type Language string
+
+// The three language primitives the paper describes.
+const (
+	Monitor Language = "monitor"
+	CSP     Language = "csp"
+	Ada     Language = "ada"
+)
+
+// Languages lists all three.
+func Languages() []Language { return []Language{Monitor, CSP, Ada} }
+
+// Scenario is one cell of the verification matrix: explore every
+// computation of a solution and check it against its problem spec.
+type Scenario struct {
+	Problem  string
+	Language Language
+	// Build returns the problem spec, the explored computations, and the
+	// correspondence.
+	Build func() (*spec.Spec, []*core.Computation, verify.Correspondence, error)
+}
+
+// Cell is the outcome of running one scenario.
+type Cell struct {
+	Scenario Scenario
+	Runs     int
+	Verified bool
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Run executes the scenario.
+func (s Scenario) Run() Cell {
+	start := time.Now()
+	problem, comps, corr, err := s.Build()
+	if err != nil {
+		return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
+	}
+	idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+	cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
+	if idx >= 0 {
+		cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
+		return cell
+	}
+	cell.Verified = true
+	return cell
+}
+
+// Matrix returns the nine scenarios of the paper's Section 11 claim.
+func Matrix() []Scenario {
+	var out []Scenario
+	for _, lang := range Languages() {
+		out = append(out, oneslotScenario(lang), boundedbufScenario(lang), rwScenario(lang))
+	}
+	return out
+}
+
+func exploreMonitor(p *monitor.Program) ([]*core.Computation, error) {
+	runs, truncated, err := monitor.Explore(p, monitor.ExploreOptions{MaxRuns: 60000})
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		return nil, fmt.Errorf("check: monitor exploration truncated")
+	}
+	var comps []*core.Computation
+	for i, r := range runs {
+		if r.Deadlock {
+			return nil, fmt.Errorf("check: monitor run %d deadlocked", i)
+		}
+		comps = append(comps, r.Comp)
+	}
+	return comps, nil
+}
+
+func exploreCSP(p *csp.Program) ([]*core.Computation, error) {
+	runs, truncated, err := csp.Explore(p, csp.ExploreOptions{MaxRuns: 60000})
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		return nil, fmt.Errorf("check: csp exploration truncated")
+	}
+	var comps []*core.Computation
+	for i, r := range runs {
+		if r.Deadlock {
+			return nil, fmt.Errorf("check: csp run %d deadlocked", i)
+		}
+		comps = append(comps, r.Comp)
+	}
+	return comps, nil
+}
+
+func exploreAda(p *ada.Program) ([]*core.Computation, error) {
+	runs, truncated, err := ada.Explore(p, ada.ExploreOptions{MaxRuns: 60000})
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		return nil, fmt.Errorf("check: ada exploration truncated")
+	}
+	var comps []*core.Computation
+	for i, r := range runs {
+		if r.Deadlock {
+			return nil, fmt.Errorf("check: ada run %d deadlocked", i)
+		}
+		comps = append(comps, r.Comp)
+	}
+	return comps, nil
+}
+
+func oneslotScenario(lang Language) Scenario {
+	w := oneslot.Workload{Producers: 1, Consumers: 1, ItemsPerProducer: 2}
+	return Scenario{Problem: "one-slot-buffer", Language: lang,
+		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+			problem, err := oneslot.ProblemSpec(w)
+			if err != nil {
+				return nil, nil, verify.Correspondence{}, err
+			}
+			switch lang {
+			case Monitor:
+				comps, err := exploreMonitor(oneslot.NewMonitorProgram(w))
+				return problem, comps, oneslot.MonitorCorrespondence(), err
+			case CSP:
+				comps, err := exploreCSP(oneslot.NewCSPProgram(w))
+				return problem, comps, oneslot.CSPCorrespondence(w), err
+			default:
+				comps, err := exploreAda(oneslot.NewAdaProgram(w))
+				return problem, comps, oneslot.AdaCorrespondence(), err
+			}
+		}}
+}
+
+func boundedbufScenario(lang Language) Scenario {
+	w := boundedbuf.Workload{Producers: 2, Consumers: 1, ItemsPerProducer: 1, Capacity: 2}
+	return Scenario{Problem: "bounded-buffer", Language: lang,
+		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+			problem, err := boundedbuf.ProblemSpec(w)
+			if err != nil {
+				return nil, nil, verify.Correspondence{}, err
+			}
+			switch lang {
+			case Monitor:
+				comps, err := exploreMonitor(boundedbuf.NewMonitorProgram(w))
+				return problem, comps, boundedbuf.MonitorCorrespondence(w.Capacity), err
+			case CSP:
+				comps, err := exploreCSP(boundedbuf.NewCSPProgram(w))
+				return problem, comps, boundedbuf.CSPCorrespondence(w), err
+			default:
+				comps, err := exploreAda(boundedbuf.NewAdaProgram(w))
+				return problem, comps, boundedbuf.AdaCorrespondence(), err
+			}
+		}}
+}
+
+func rwScenario(lang Language) Scenario {
+	w := rw.Workload{Readers: 2, Writers: 1}
+	clients := []string{"r1", "r2", "w1"}
+	return Scenario{Problem: "readers-writers", Language: lang,
+		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+			problem, err := rw.ProblemSpec(clients, true)
+			if err != nil {
+				return nil, nil, verify.Correspondence{}, err
+			}
+			switch lang {
+			case Monitor:
+				comps, err := exploreMonitor(rw.NewProgram(rw.ReadersPriority, w))
+				return problem, comps, rw.MonitorCorrespondence(), err
+			case CSP:
+				comps, err := exploreCSP(rw.NewCSPProgram(w))
+				return problem, comps, rw.CSPCorrespondence(w), err
+			default:
+				comps, err := exploreAda(rw.NewAdaProgram(w))
+				return problem, comps, rw.AdaCorrespondence(), err
+			}
+		}}
+}
+
+// RunMatrix executes every scenario and prints a table; it returns an
+// error if any cell fails.
+func RunMatrix(w io.Writer) error {
+	fmt.Fprintf(w, "%-18s %-9s %9s %9s  %s\n", "PROBLEM", "LANGUAGE", "RUNS", "TIME", "RESULT")
+	var firstErr error
+	for _, s := range Matrix() {
+		cell := s.Run()
+		result := "verified"
+		if !cell.Verified {
+			result = "FAILED: " + cell.Err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", s.Problem, s.Language, cell.Err)
+			}
+		}
+		fmt.Fprintf(w, "%-18s %-9s %9d %9s  %s\n",
+			s.Problem, s.Language, cell.Runs, cell.Elapsed.Round(time.Millisecond), result)
+	}
+	return firstErr
+}
+
+// Refutation is a deliberately wrong solution paired with the problem
+// spec that must reject it — the negative side of the verification
+// matrix.
+type Refutation struct {
+	Name string
+	// Build returns the problem spec, computations, and correspondence;
+	// at least one computation must fail the sat check.
+	Build func() (*spec.Spec, []*core.Computation, verify.Correspondence, error)
+}
+
+// Refutations returns the matrix's negative controls.
+func Refutations() []Refutation {
+	return []Refutation{
+		{
+			Name: "writers-priority-monitor vs readers-priority-spec",
+			Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+				w := rw.Workload{Readers: 2, Writers: 1}
+				problem, err := rw.ProblemSpec([]string{"r1", "r2", "w1"}, true)
+				if err != nil {
+					return nil, nil, verify.Correspondence{}, err
+				}
+				comps, err := exploreMonitor(rw.NewProgram(rw.WritersPriority, w))
+				return problem, comps, rw.MonitorCorrespondence(), err
+			},
+		},
+		{
+			Name: "unguarded-deposit vs capacity-spec",
+			Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+				w := boundedbuf.Workload{Producers: 2, Consumers: 1, ItemsPerProducer: 1, Capacity: 1}
+				problem, err := boundedbuf.ProblemSpec(w)
+				if err != nil {
+					return nil, nil, verify.Correspondence{}, err
+				}
+				prog := boundedbuf.NewMonitorProgram(w)
+				for i, e := range prog.Monitor.Entries {
+					if e.Name == "deposit" {
+						prog.Monitor.Entries[i].Body = e.Body[1:] // drop the full-check
+					}
+				}
+				// The mutant can deadlock on some schedules (consumer done
+				// before the overflowing deposit); keep the non-deadlocked
+				// computations, which exhibit the overflow.
+				runs, _, err := monitor.Explore(prog, monitor.ExploreOptions{MaxRuns: 60000})
+				if err != nil {
+					return nil, nil, verify.Correspondence{}, err
+				}
+				var comps []*core.Computation
+				for _, r := range runs {
+					if !r.Deadlock {
+						comps = append(comps, r.Comp)
+					}
+				}
+				return problem, comps, boundedbuf.MonitorCorrespondence(w.Capacity), nil
+			},
+		},
+	}
+}
+
+// RunRefutations executes the negative controls: each must be refuted on
+// at least one computation.
+func RunRefutations(w io.Writer) error {
+	var firstErr error
+	for _, r := range Refutations() {
+		problem, comps, corr, err := r.Build()
+		if err != nil {
+			fmt.Fprintf(w, "%-55s ERROR: %v\n", r.Name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		idx, _ := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+		if idx < 0 {
+			fmt.Fprintf(w, "%-55s NOT refuted (%d computations) — matrix broken\n", r.Name, len(comps))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: expected a refutation", r.Name)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%-55s refuted as expected (computation %d of %d)\n", r.Name, idx, len(comps))
+	}
+	return firstErr
+}

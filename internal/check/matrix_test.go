@@ -1,0 +1,58 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMatrixAllVerified runs the full Section 11 matrix: three languages
+// × three problems, all verified (experiment E7).
+func TestMatrixAllVerified(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMatrix(&buf); err != nil {
+		t.Fatalf("matrix failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	t.Logf("\n%s", out)
+	if got := strings.Count(out, "verified"); got != 9 {
+		t.Errorf("verified cells = %d, want 9:\n%s", got, out)
+	}
+	for _, problem := range []string{"one-slot-buffer", "bounded-buffer", "readers-writers"} {
+		if !strings.Contains(out, problem) {
+			t.Errorf("missing problem %s", problem)
+		}
+	}
+	for _, lang := range Languages() {
+		if !strings.Contains(out, string(lang)) {
+			t.Errorf("missing language %s", lang)
+		}
+	}
+}
+
+func TestScenarioCells(t *testing.T) {
+	for _, s := range Matrix() {
+		s := s
+		t.Run(s.Problem+"/"+string(s.Language), func(t *testing.T) {
+			cell := s.Run()
+			if !cell.Verified {
+				t.Fatalf("cell failed: %v", cell.Err)
+			}
+			if cell.Runs == 0 {
+				t.Error("no computations explored")
+			}
+		})
+	}
+}
+
+// TestRefutationsAllRefuted: the negative controls must each be refuted.
+func TestRefutationsAllRefuted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunRefutations(&buf); err != nil {
+		t.Fatalf("refutations: %v\n%s", err, buf.String())
+	}
+	t.Logf("\n%s", buf.String())
+	if got := strings.Count(buf.String(), "refuted as expected"); got != 2 {
+		t.Errorf("refuted controls = %d, want 2:\n%s", got, buf.String())
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gem/internal/order"
+)
+
+// Computation is a GEM computation: a finite set of events together with
+// the enable relation, the element order (events at one element are totally
+// ordered by their Seq), and the derived temporal order — the transitive
+// closure of enable ∪ element-order, which Build verifies is irreflexive.
+type Computation struct {
+	events  []*Event
+	byElem  map[string][]EventID // events per element, ordered by Seq
+	enables [][]EventID          // direct enable edges, adjacency by source
+
+	reach []order.Bitset // strict temporal reachability (temporal order)
+	preds []order.Bitset // inverse of reach
+}
+
+// NumEvents returns the number of events.
+func (c *Computation) NumEvents() int { return len(c.events) }
+
+// Event returns the event with the given id.
+func (c *Computation) Event(id EventID) *Event { return c.events[int(id)] }
+
+// Events returns all events in id order. The slice must not be modified.
+func (c *Computation) Events() []*Event { return c.events }
+
+// EventsAt returns the events at the named element in element order.
+func (c *Computation) EventsAt(element string) []EventID { return c.byElem[element] }
+
+// Elements returns the names of all elements with at least one event,
+// sorted.
+func (c *Computation) Elements() []string {
+	out := make([]string, 0, len(c.byElem))
+	for name := range c.byElem {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EventsOf returns the ids of events matching the class reference, in id
+// order.
+func (c *Computation) EventsOf(ref ClassRef) []EventID {
+	var out []EventID
+	for _, e := range c.events {
+		if ref.Matches(e) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// EnablesDirect reports whether a directly enables b (a ⊳ b).
+func (c *Computation) EnablesDirect(a, b EventID) bool {
+	for _, t := range c.enables[int(a)] {
+		if t == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled returns the direct enable successors of a. The slice must not be
+// modified.
+func (c *Computation) Enabled(a EventID) []EventID { return c.enables[int(a)] }
+
+// Enablers returns the ids of events that directly enable b.
+func (c *Computation) Enablers(b EventID) []EventID {
+	var out []EventID
+	for src, targets := range c.enables {
+		for _, t := range targets {
+			if t == b {
+				out = append(out, EventID(src))
+			}
+		}
+	}
+	return out
+}
+
+// ElemBefore reports whether a precedes b in the element order (same
+// element, lower occurrence index).
+func (c *Computation) ElemBefore(a, b EventID) bool {
+	ea, eb := c.events[int(a)], c.events[int(b)]
+	return ea.Element == eb.Element && ea.Seq < eb.Seq
+}
+
+// Temporal reports whether a strictly precedes b in the temporal order
+// (a ⇒ b).
+func (c *Computation) Temporal(a, b EventID) bool {
+	return c.reach[int(a)].Has(int(b))
+}
+
+// Concurrent reports whether a and b are potentially concurrent: distinct
+// and unordered by the temporal order.
+func (c *Computation) Concurrent(a, b EventID) bool {
+	return a != b && !c.Temporal(a, b) && !c.Temporal(b, a)
+}
+
+// Reach returns the strict temporal reachability sets (indexable by event
+// id). The returned slice and sets must not be modified.
+func (c *Computation) Reach() []order.Bitset { return c.reach }
+
+// Preds returns the strict temporal predecessor sets. The returned slice
+// and sets must not be modified.
+func (c *Computation) Preds() []order.Bitset { return c.preds }
+
+// FullHistory returns the set of all event ids (the complete computation as
+// a history).
+func (c *Computation) FullHistory() order.Bitset {
+	h := order.NewBitset(len(c.events))
+	for i := range c.events {
+		h.Set(i)
+	}
+	return h
+}
+
+// String renders a summary of the computation for diagnostics.
+func (c *Computation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "computation: %d events\n", len(c.events))
+	for _, e := range c.events {
+		fmt.Fprintf(&sb, "  [%d] %s", e.ID, e)
+		if len(c.enables[int(e.ID)]) > 0 {
+			sb.WriteString(" |>")
+			for _, t := range c.enables[int(e.ID)] {
+				fmt.Fprintf(&sb, " %d", t)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Builder assembles a Computation. Events are appended per element in
+// element order; enable edges may reference any previously created events.
+type Builder struct {
+	events  []*Event
+	byElem  map[string][]EventID
+	enables [][2]EventID
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{byElem: make(map[string][]EventID)}
+}
+
+// Event appends a new event at the named element with the given class and
+// parameters, returning its id. Successive events at the same element are
+// ordered by creation order (their Seq is the per-element occurrence
+// index).
+func (b *Builder) Event(element, class string, params Params) EventID {
+	id := EventID(len(b.events))
+	ev := &Event{
+		ID:      id,
+		Element: element,
+		Class:   class,
+		Seq:     len(b.byElem[element]),
+		Params:  params.Clone(),
+	}
+	b.events = append(b.events, ev)
+	b.byElem[element] = append(b.byElem[element], id)
+	return id
+}
+
+// Enable records src ⊳ dst (src directly enables dst).
+func (b *Builder) Enable(src, dst EventID) {
+	b.enables = append(b.enables, [2]EventID{src, dst})
+}
+
+// Thread labels the event with a thread-instance identifier.
+func (b *Builder) Thread(id EventID, tid string) {
+	ev := b.events[int(id)]
+	if !ev.HasThread(tid) {
+		ev.Threads = append(ev.Threads, tid)
+	}
+}
+
+// NumEvents returns the number of events created so far.
+func (b *Builder) NumEvents() int { return len(b.events) }
+
+// Build derives the temporal order and validates that it is a strict
+// partial order (irreflexive ⇔ the combined graph is acyclic). On success
+// the builder should not be reused.
+func (b *Builder) Build() (*Computation, error) {
+	n := len(b.events)
+	dag := order.NewDAG(n)
+	adj := make([][]EventID, n)
+	for _, e := range b.enables {
+		src, dst := int(e[0]), int(e[1])
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			return nil, fmt.Errorf("core: enable edge (%d,%d) references unknown event", src, dst)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("core: event %d cannot enable itself", src)
+		}
+		dag.AddEdge(src, dst)
+		if !containsID(adj[src], e[1]) {
+			adj[src] = append(adj[src], e[1])
+		}
+	}
+	// Element order: consecutive events at the same element.
+	for _, ids := range b.byElem {
+		for i := 1; i < len(ids); i++ {
+			dag.AddEdge(int(ids[i-1]), int(ids[i]))
+		}
+	}
+	reach, err := dag.TransitiveClosure()
+	if err != nil {
+		return nil, fmt.Errorf("core: temporal order is not irreflexive: %w", err)
+	}
+	return &Computation{
+		events:  b.events,
+		byElem:  b.byElem,
+		enables: adj,
+		reach:   reach,
+		preds:   order.Invert(reach),
+	}, nil
+}
+
+func containsID(xs []EventID, x EventID) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

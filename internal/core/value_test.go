@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	tests := []struct {
+		give Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Str("hi"), `"hi"`},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Value{}, "<none>"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero Value should be IsZero")
+	}
+	if Int(0).IsZero() || Str("").IsZero() || Bool(false).IsZero() {
+		t.Error("typed zero values are not IsZero")
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if Int(1) != Int(1) || Str("a") != Str("a") || Bool(true) != Bool(true) {
+		t.Error("same-kind same-value must compare equal")
+	}
+	if Int(1) == Int(2) || Int(0) == Bool(false) || Str("") == (Value{}) {
+		t.Error("distinct values must compare unequal")
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(2), true},
+		{Int(2), Int(1), false},
+		{Int(1), Int(1), false},
+		{Str("a"), Str("b"), true},
+		{Bool(false), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Int(99), Str(""), true}, // cross-kind: by kind
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: Less is a strict weak ordering on ints (irreflexive,
+// asymmetric, transitive on sampled triples).
+func TestValueLessQuick(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Int(b), Int(c)
+		if va.Less(va) {
+			return false
+		}
+		if va.Less(vb) && vb.Less(va) {
+			return false
+		}
+		if va.Less(vb) && vb.Less(vc) && !va.Less(vc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsCloneIndependent(t *testing.T) {
+	p := Params{"x": Int(1)}
+	q := p.Clone()
+	q["x"] = Int(2)
+	if p["x"] != Int(1) {
+		t.Error("Clone must not alias")
+	}
+	var nilP Params
+	if nilP.Clone() != nil {
+		t.Error("nil Params clones to nil")
+	}
+}
+
+func TestParamsStringDeterministic(t *testing.T) {
+	p := Params{"b": Int(2), "a": Int(1), "c": Str("x")}
+	want := `(a=1, b=2, c="x")`
+	for i := 0; i < 10; i++ {
+		if got := p.String(); got != want {
+			t.Fatalf("Params.String = %q, want %q", got, want)
+		}
+	}
+	if got := (Params{}).String(); got != "" {
+		t.Errorf("empty Params.String = %q, want empty", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package csp implements Hoare's Communicating Sequential Processes as
+// described by the paper's GEM treatment (Section 8.2): processes
+// communicating by synchronous message exchange, with guarded
+// alternatives. It provides a mini-language, an exhaustive-interleaving
+// simulator emitting GEM computations, and the GEM specification of the
+// CSP primitive, including the paper's simultaneity-of-I/O-exchange
+// restriction.
+//
+// Event model (following the paper's input/output element sketch):
+//
+//	<P>.out.<Q>   Req(v), End      — P's output commands naming Q
+//	<P>.inp.<Q>   Req, End(v)      — P's input commands naming Q
+//	<P>           local Op events
+//
+// One communication P!v / Q?x emits four events: P.out.Q.Req(v) and
+// Q.inp.P.Req (each enabled by its process's control flow), then
+// P.out.Q.End and Q.inp.P.End(v), each enabled by BOTH requests — so
+// inp.Req ⊳ out.End ⟺ out.Req ⊳ inp.End, the paper's simultaneity
+// restriction, holds by construction and is checked by the spec.
+package csp
+
+import "fmt"
+
+// Expr is an integer expression over process-local variables.
+type Expr interface {
+	eval(vars map[string]int64) int64
+	String() string
+}
+
+// IntLit is an integer literal.
+type IntLit int64
+
+func (e IntLit) eval(map[string]int64) int64 { return int64(e) }
+func (e IntLit) String() string              { return fmt.Sprintf("%d", int64(e)) }
+
+// VarRef reads a process-local variable.
+type VarRef string
+
+func (e VarRef) eval(vars map[string]int64) int64 {
+	v, ok := vars[string(e)]
+	if !ok {
+		panic(fmt.Sprintf("csp: undefined variable %q", string(e)))
+	}
+	return v
+}
+func (e VarRef) String() string { return string(e) }
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (e Bin) eval(vars map[string]int64) int64 {
+	l, r := e.L.eval(vars), e.R.eval(vars)
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpEq:
+		return b2i(l == r)
+	case OpNe:
+		return b2i(l != r)
+	case OpLt:
+		return b2i(l < r)
+	case OpLe:
+		return b2i(l <= r)
+	case OpGt:
+		return b2i(l > r)
+	case OpGe:
+		return b2i(l >= r)
+	default:
+		panic(fmt.Sprintf("csp: unknown operator %d", e.Op))
+	}
+}
+func (e Bin) String() string { return fmt.Sprintf("(%s op%d %s)", e.L, e.Op, e.R) }
+
+// Stmt is a process statement.
+type Stmt interface{ cspStmt() }
+
+// Send is the output command "To ! E".
+type Send struct {
+	To string
+	E  Expr
+}
+
+// Recv is the input command "From ? Var".
+type Recv struct {
+	From string
+	Var  string
+}
+
+// Assign updates a process-local variable (no event emitted; CSP local
+// state is private).
+type Assign struct {
+	Var string
+	E   Expr
+}
+
+// Op emits a local event of the given class, with integer parameters
+// evaluated in the local state. With Element == "" the event occurs at
+// the process element. With Element set it occurs at that external
+// shared element, with shared-variable semantics for the Assign (stores
+// "newval") and Getval (reports the cell as "oldval") classes — the data
+// a CSP controller guards.
+type Op struct {
+	Class   string
+	Params  map[string]Expr
+	Element string
+}
+
+// Alt is the guarded alternative: exactly one branch with a true boolean
+// guard and a ready communication is selected (nondeterministically).
+type Alt struct {
+	Branches []Branch
+}
+
+// Branch is one guarded command of an alternative. Guard may be nil
+// (true); Comm may be a Send or Recv, or nil for a purely boolean guard.
+type Branch struct {
+	Guard Expr
+	Comm  Stmt // Send or Recv, or nil
+	Body  []Stmt
+}
+
+// Repeat unrolls its body N times (bounded loops keep exploration
+// finite).
+type Repeat struct {
+	N    int
+	Body []Stmt
+}
+
+func (Send) cspStmt()   {}
+func (Recv) cspStmt()   {}
+func (Assign) cspStmt() {}
+func (Op) cspStmt()     {}
+func (Alt) cspStmt()    {}
+func (Repeat) cspStmt() {}
+
+// Process is one sequential CSP process.
+type Process struct {
+	Name string
+	Vars []string // local integer variables, zero-initialized
+	Body []Stmt
+}
+
+// Program is a set of communicating processes.
+type Program struct {
+	Processes []Process
+}
+
+// OutElement names P's output element toward Q.
+func OutElement(p, q string) string { return p + ".out." + q }
+
+// InpElement names P's input element from Q.
+func InpElement(p, q string) string { return p + ".inp." + q }

@@ -1,0 +1,343 @@
+package csp
+
+import (
+	"testing"
+
+	"gem/internal/core"
+	"gem/internal/legal"
+)
+
+// pingProgram: P sends 42 to Q; Q receives and emits a Got event.
+func pingProgram() *Program {
+	return &Program{Processes: []Process{
+		{Name: "P", Body: []Stmt{Send{To: "Q", E: IntLit(42)}}},
+		{Name: "Q", Vars: []string{"x"}, Body: []Stmt{
+			Recv{From: "P", Var: "x"},
+			Op{Class: "Got", Params: map[string]Expr{"v": VarRef("x")}},
+		}},
+	}}
+}
+
+func TestPingCommunication(t *testing.T) {
+	runs, truncated, err := Explore(pingProgram(), ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated || len(runs) != 1 {
+		t.Fatalf("got %d runs (truncated=%v), want 1", len(runs), truncated)
+	}
+	r := runs[0]
+	if r.Deadlock {
+		t.Fatal("ping must not deadlock")
+	}
+	if r.FinalVars["Q"]["x"] != 42 {
+		t.Errorf("Q.x = %d, want 42", r.FinalVars["Q"]["x"])
+	}
+	c := r.Comp
+	// 4 communication events + 1 local op.
+	if c.NumEvents() != 5 {
+		t.Fatalf("got %d events:\n%s", c.NumEvents(), c)
+	}
+	outReq := c.EventsOf(core.Ref(OutElement("P", "Q"), "Req"))
+	inpReq := c.EventsOf(core.Ref(InpElement("Q", "P"), "Req"))
+	outEnd := c.EventsOf(core.Ref(OutElement("P", "Q"), "End"))
+	inpEnd := c.EventsOf(core.Ref(InpElement("Q", "P"), "End"))
+	if len(outReq) != 1 || len(inpReq) != 1 || len(outEnd) != 1 || len(inpEnd) != 1 {
+		t.Fatalf("communication events missing:\n%s", c)
+	}
+	// The paper's simultaneity: inp.req |> out.end <-> out.req |> inp.end.
+	if !c.EnablesDirect(inpReq[0], outEnd[0]) || !c.EnablesDirect(outReq[0], inpEnd[0]) {
+		t.Error("cross enables missing")
+	}
+	// Requests of the two processes are concurrent (no observable order).
+	if !c.Concurrent(outReq[0], inpReq[0]) {
+		t.Error("requests should be concurrent")
+	}
+	// The received value rides on inp.End.
+	if got := c.Event(inpEnd[0]).Params["v"]; got != core.Int(42) {
+		t.Errorf("inp.End v = %v", got)
+	}
+	got := c.EventsOf(core.Ref("Q", "Got"))
+	if len(got) != 1 || c.Event(got[0]).Params["v"] != core.Int(42) {
+		t.Errorf("Got event wrong:\n%s", c)
+	}
+}
+
+// TestCSPSpecLegality checks generated computations against the CSP
+// primitive spec (experiment E5, CSP leg).
+func TestCSPSpecLegality(t *testing.T) {
+	prog := pingProgram()
+	s := Spec(prog)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		res := legal.Check(s, r.Comp, legal.Options{})
+		if !res.Legal() {
+			t.Fatalf("generated computation violates CSP spec: %v\n%s", res.Error(), r.Comp)
+		}
+	}
+}
+
+func TestDeadlockBothSend(t *testing.T) {
+	prog := &Program{Processes: []Process{
+		{Name: "P", Body: []Stmt{Send{To: "Q", E: IntLit(1)}}},
+		{Name: "Q", Body: []Stmt{Send{To: "P", E: IntLit(2)}}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || !runs[0].Deadlock {
+		t.Fatalf("two senders must deadlock, got %+v", runs)
+	}
+}
+
+func TestAltSelectsReadyBranch(t *testing.T) {
+	// R alternates over inputs from P and Q; both offer. Two selection
+	// orders exist; both complete. With Repeat(2), R consumes both.
+	prog := &Program{Processes: []Process{
+		{Name: "P", Body: []Stmt{Send{To: "R", E: IntLit(1)}}},
+		{Name: "Q", Body: []Stmt{Send{To: "R", E: IntLit(2)}}},
+		{Name: "R", Vars: []string{"x", "sum"}, Body: []Stmt{
+			Repeat{N: 2, Body: []Stmt{
+				Alt{Branches: []Branch{
+					{Comm: Recv{From: "P", Var: "x"},
+						Body: []Stmt{Assign{Var: "sum", E: Bin{Op: OpAdd, L: VarRef("sum"), R: VarRef("x")}}}},
+					{Comm: Recv{From: "Q", Var: "x"},
+						Body: []Stmt{Assign{Var: "sum", E: Bin{Op: OpAdd, L: VarRef("sum"), R: VarRef("x")}}}},
+				}},
+			}},
+		}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no runs")
+	}
+	for _, r := range runs {
+		if r.Deadlock {
+			t.Error("alt program must not deadlock")
+		}
+		if r.FinalVars["R"]["sum"] != 3 {
+			t.Errorf("R.sum = %d, want 3", r.FinalVars["R"]["sum"])
+		}
+	}
+}
+
+func TestAltBooleanGuards(t *testing.T) {
+	prog := &Program{Processes: []Process{
+		{Name: "P", Vars: []string{"x"}, Body: []Stmt{
+			Assign{Var: "x", E: IntLit(5)},
+			Alt{Branches: []Branch{
+				{Guard: Bin{Op: OpGt, L: VarRef("x"), R: IntLit(3)},
+					Body: []Stmt{Op{Class: "Big"}}},
+				{Guard: Bin{Op: OpLe, L: VarRef("x"), R: IntLit(3)},
+					Body: []Stmt{Op{Class: "Small"}}},
+			}},
+		}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	if len(runs[0].Comp.EventsOf(core.Ref("P", "Big"))) != 1 {
+		t.Error("guarded branch Big must be taken")
+	}
+	if len(runs[0].Comp.EventsOf(core.Ref("P", "Small"))) != 0 {
+		t.Error("false-guarded branch must not be taken")
+	}
+}
+
+func TestAltAllGuardsFalseDeadlocks(t *testing.T) {
+	prog := &Program{Processes: []Process{
+		{Name: "P", Vars: []string{"x"}, Body: []Stmt{
+			Alt{Branches: []Branch{
+				{Guard: Bin{Op: OpGt, L: VarRef("x"), R: IntLit(0)}, Body: []Stmt{Op{Class: "Never"}}},
+			}},
+		}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || !runs[0].Deadlock {
+		t.Fatal("alt with no ready branch must deadlock")
+	}
+}
+
+func TestRepeatUnrolls(t *testing.T) {
+	prog := &Program{Processes: []Process{
+		{Name: "P", Vars: []string{"i"}, Body: []Stmt{
+			Repeat{N: 3, Body: []Stmt{
+				Assign{Var: "i", E: Bin{Op: OpAdd, L: VarRef("i"), R: IntLit(1)}},
+				Op{Class: "Tick", Params: map[string]Expr{"i": VarRef("i")}},
+			}},
+		}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	ticks := runs[0].Comp.EventsOf(core.Ref("P", "Tick"))
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	if runs[0].FinalVars["P"]["i"] != 3 {
+		t.Errorf("i = %d", runs[0].FinalVars["P"]["i"])
+	}
+	// Tick params must be 1, 2, 3 in element order.
+	for k, id := range ticks {
+		if got := runs[0].Comp.Event(id).Params["i"]; got != core.Int(int64(k+1)) {
+			t.Errorf("tick %d param = %v", k, got)
+		}
+	}
+}
+
+func TestUnknownPartnerRejected(t *testing.T) {
+	prog := &Program{Processes: []Process{
+		{Name: "P", Body: []Stmt{Send{To: "Ghost", E: IntLit(1)}}},
+	}}
+	if _, _, err := Explore(prog, ExploreOptions{}); err == nil {
+		t.Fatal("unknown partner must be rejected")
+	}
+	prog2 := &Program{Processes: []Process{
+		{Name: "P", Body: []Stmt{Recv{From: "Ghost", Var: "x"}}},
+	}}
+	if _, _, err := Explore(prog2, ExploreOptions{}); err == nil {
+		t.Fatal("unknown sender must be rejected")
+	}
+}
+
+func TestDuplicateProcessNameRejected(t *testing.T) {
+	prog := &Program{Processes: []Process{{Name: "P"}, {Name: "P"}}}
+	if _, _, err := Explore(prog, ExploreOptions{}); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+}
+
+func TestValueCorruptionDetectedBySpec(t *testing.T) {
+	// Hand-build a computation violating value transfer and check the
+	// spec refutes it (failure injection for the CSP substrate).
+	prog := pingProgram()
+	s := Spec(prog)
+	b := core.NewBuilder()
+	or := b.Event(OutElement("P", "Q"), "Req", core.Params{"v": core.Int(42)})
+	ir := b.Event(InpElement("Q", "P"), "Req", nil)
+	oe := b.Event(OutElement("P", "Q"), "End", nil)
+	ie := b.Event(InpElement("Q", "P"), "End", core.Params{"v": core.Int(7)}) // corrupted
+	b.Enable(or, oe)
+	b.Enable(ir, oe)
+	b.Enable(or, ie)
+	b.Enable(ir, ie)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := legal.Check(s, c, legal.Options{})
+	if res.Legal() {
+		t.Fatal("corrupted message value must be illegal")
+	}
+}
+
+func TestMissingCrossEnableDetectedBySpec(t *testing.T) {
+	prog := pingProgram()
+	s := Spec(prog)
+	b := core.NewBuilder()
+	or := b.Event(OutElement("P", "Q"), "Req", core.Params{"v": core.Int(42)})
+	ir := b.Event(InpElement("Q", "P"), "Req", nil)
+	oe := b.Event(OutElement("P", "Q"), "End", nil)
+	ie := b.Event(InpElement("Q", "P"), "End", core.Params{"v": core.Int(42)})
+	b.Enable(or, oe) // missing ir |> oe: simultaneity broken
+	b.Enable(or, ie)
+	b.Enable(ir, ie)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := legal.Check(s, c, legal.Options{})
+	if res.Legal() {
+		t.Fatal("broken simultaneity must be illegal")
+	}
+}
+
+func TestExprEvalAndErrors(t *testing.T) {
+	vars := map[string]int64{"x": 4}
+	if got := (Bin{Op: OpSub, L: VarRef("x"), R: IntLit(1)}).eval(vars); got != 3 {
+		t.Errorf("eval = %d", got)
+	}
+	ops := []struct {
+		op   BinOp
+		want int64
+	}{
+		{OpEq, 0}, {OpNe, 1}, {OpLt, 1}, {OpLe, 1}, {OpGt, 0}, {OpGe, 0},
+	}
+	for _, tt := range ops {
+		if got := (Bin{Op: tt.op, L: IntLit(1), R: IntLit(2)}).eval(vars); got != tt.want {
+			t.Errorf("op %d = %d, want %d", tt.op, got, tt.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("undefined variable should panic")
+		}
+	}()
+	VarRef("ghost").eval(vars)
+}
+
+func TestExternalSharedElement(t *testing.T) {
+	// Writer assigns an external cell; a message to the reader orders the
+	// subsequent read after the write.
+	prog := &Program{Processes: []Process{
+		{Name: "W", Body: []Stmt{
+			Op{Element: "shared", Class: "Assign", Params: map[string]Expr{"newval": IntLit(9)}},
+			Send{To: "R", E: IntLit(1)},
+		}},
+		{Name: "R", Vars: []string{"x"}, Body: []Stmt{
+			Recv{From: "W", Var: "x"},
+			Op{Element: "shared", Class: "Getval"},
+		}},
+	}}
+	runs, _, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Spec(prog)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Deadlock {
+			t.Fatal("must complete")
+		}
+		res := legal.Check(s, r.Comp, legal.Options{})
+		if !res.Legal() {
+			t.Fatalf("external-element run illegal: %v", res.Error())
+		}
+		gets := r.Comp.EventsOf(core.Ref("shared", "Getval"))
+		if got := r.Comp.Event(gets[0]).Params["oldval"]; got != core.Int(9) {
+			t.Errorf("read %v, want 9", got)
+		}
+	}
+}
+
+func TestCSPExprStrings(t *testing.T) {
+	if IntLit(3).String() != "3" || VarRef("v").String() != "v" {
+		t.Error("expr String wrong")
+	}
+	if (Bin{Op: OpAdd, L: IntLit(1), R: IntLit(2)}).String() == "" {
+		t.Error("Bin String empty")
+	}
+}

@@ -1,0 +1,222 @@
+package gemlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gem/internal/core"
+	"gem/internal/logic"
+	"gem/internal/spec"
+)
+
+// Format renders a compiled specification back into the concrete GEM
+// syntax. Parsing the result yields an equivalent specification
+// (Parse ∘ Format is a fixpoint up to formatting), which makes the
+// concrete syntax a faithful interchange format for compiled specs.
+// Element/group *types* are not reconstructed — instances are emitted
+// expanded, which is exactly the paper's text-substitution semantics.
+func Format(s *spec.Spec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SPEC %s\n", s.Name)
+	for _, name := range s.ElementNames() {
+		d, _ := s.Element(name)
+		fmt.Fprintf(&sb, "\nELEMENT %s\n", name)
+		if len(d.Events) > 0 {
+			sb.WriteString("  EVENTS\n")
+			for _, ec := range d.Events {
+				fmt.Fprintf(&sb, "    %s%s\n", ec.Name, formatParams(ec.Params))
+			}
+		}
+		formatRestrictions(&sb, d.Restrictions)
+		sb.WriteString("END\n")
+	}
+	for _, name := range s.GroupNames() {
+		g, _ := s.Group(name)
+		fmt.Fprintf(&sb, "\nGROUP %s MEMBERS(%s)\n", name, strings.Join(g.Members, ", "))
+		if len(g.Ports) > 0 {
+			var ports []string
+			for _, p := range g.Ports {
+				ports = append(ports, p.Element+"."+p.Class)
+			}
+			fmt.Fprintf(&sb, "  PORTS(%s)\n", strings.Join(ports, ", "))
+		}
+		formatRestrictions(&sb, g.Restrictions)
+		sb.WriteString("END\n")
+	}
+	for _, tt := range s.Threads() {
+		var parts []string
+		for _, ref := range tt.Path {
+			parts = append(parts, ref.String())
+		}
+		fmt.Fprintf(&sb, "\nTHREAD %s = (%s)\n", tt.Name, strings.Join(parts, " :: "))
+	}
+	for _, r := range s.Restrictions() {
+		if r.Owner != s.Name {
+			continue // element/group restrictions already emitted
+		}
+		fmt.Fprintf(&sb, "\nRESTRICTION %q:\n  %s ;\n", r.Name, Source(r.F))
+	}
+	return sb.String()
+}
+
+func formatParams(params []spec.ParamDecl) string {
+	if len(params) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, p := range params {
+		parts = append(parts, p.Name+": "+p.Type)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func formatRestrictions(sb *strings.Builder, rs []spec.Restriction) {
+	if len(rs) == 0 {
+		return
+	}
+	sb.WriteString("  RESTRICTIONS\n")
+	for _, r := range rs {
+		fmt.Fprintf(sb, "    %q:\n      %s ;\n", r.Name, Source(r.F))
+	}
+}
+
+// Source renders a formula in the concrete gemlang syntax; parsing the
+// result yields a semantically identical formula. It panics on formula
+// shapes that have no surface syntax (there are none among the exported
+// constructors).
+func Source(f logic.Formula) string {
+	switch g := f.(type) {
+	case logic.TrueF:
+		return "TRUE"
+	case logic.FalseF:
+		return "FALSE"
+	case logic.Occurred:
+		return fmt.Sprintf("occurred(%s)", g.Var)
+	case logic.New:
+		return fmt.Sprintf("new(%s)", g.Var)
+	case logic.Potential:
+		return fmt.Sprintf("potential(%s)", g.Var)
+	case logic.AtElement:
+		return fmt.Sprintf("%s @ %s", g.Var, g.Element)
+	case logic.InClass:
+		return fmt.Sprintf("%s : %s", g.Var, g.Ref)
+	case logic.AtControl:
+		return fmt.Sprintf("%s at %s", g.Var, g.Ref)
+	case logic.OnThread:
+		return fmt.Sprintf("%s in %s", g.X, g.T)
+	case logic.ThreadsDistinct:
+		return fmt.Sprintf("distinct(%s, %s)", g.T1, g.T2)
+	case logic.Enables:
+		return fmt.Sprintf("%s |> %s", g.X, g.Y)
+	case logic.ElemOrdered:
+		return fmt.Sprintf("%s ~> %s", g.X, g.Y)
+	case logic.Precedes:
+		return fmt.Sprintf("%s => %s", g.X, g.Y)
+	case logic.ConcurrentWith:
+		return fmt.Sprintf("%s || %s", g.X, g.Y)
+	case logic.SameEvent:
+		return fmt.Sprintf("%s = %s", g.X, g.Y)
+	case logic.ParamCmp:
+		return fmt.Sprintf("%s.%s %s %s.%s", g.X, g.P, g.Op, g.Y, g.Q)
+	case logic.ParamConst:
+		return fmt.Sprintf("%s.%s %s %s", g.X, g.P, g.Op, sourceValue(g.V))
+	case logic.CountDiff:
+		max := "*"
+		if !g.NoMax {
+			max = fmt.Sprint(g.Max)
+		}
+		return fmt.Sprintf("COUNT(%s - %s IN %d .. %s)", g.A, g.B, g.Min, max)
+	case logic.FIFOValues:
+		return fmt.Sprintf("FIFO(%s.%s -> %s.%s)", g.A, g.PA, g.B, g.PB)
+	case logic.Not:
+		return "~(" + Source(g.F) + ")"
+	case logic.And:
+		return joinSource(g, " & ", "TRUE")
+	case logic.Or:
+		return joinSource(g, " | ", "FALSE")
+	case logic.Implies:
+		return "(" + Source(g.If) + " -> " + Source(g.Then) + ")"
+	case logic.Iff:
+		return "(" + Source(g.A) + " <-> " + Source(g.B) + ")"
+	case logic.Box:
+		return "[] (" + Source(g.F) + ")"
+	case logic.Diamond:
+		return "<> (" + Source(g.F) + ")"
+	case logic.ForAll:
+		return fmt.Sprintf("((FORALL %s: %s) %s)", g.Var, g.Ref, Source(g.Body))
+	case logic.Exists:
+		return fmt.Sprintf("((EXISTS %s: %s) %s)", g.Var, g.Ref, Source(g.Body))
+	case logic.ExistsUnique:
+		return fmt.Sprintf("((EXISTS1 %s: %s) %s)", g.Var, g.Ref, Source(g.Body))
+	case logic.AtMostOne:
+		return fmt.Sprintf("((ATMOST1 %s: %s) %s)", g.Var, g.Ref, Source(g.Body))
+	case logic.ForAllThread:
+		return fmt.Sprintf("((FORALLTHREAD %s: %s) %s)", g.Var, g.Type, Source(g.Body))
+	case logic.ExistsThread:
+		return fmt.Sprintf("((EXISTSTHREAD %s: %s) %s)", g.Var, g.Type, Source(g.Body))
+	case logic.ForAllIn:
+		return sourceUnion("FORALL", g.Var, g.Refs, g.Body)
+	case logic.ExistsUniqueIn:
+		return sourceUnion("EXISTS1", g.Var, g.Refs, g.Body)
+	default:
+		panic(fmt.Sprintf("gemlang: no surface syntax for %T", f))
+	}
+}
+
+// sourceUnion renders a union-domain quantifier as a conjunction or
+// counting over the member classes. ForAllIn distributes over the union;
+// ExistsUniqueIn does not distribute, so it is rendered via the
+// NDPREREQ-style expansion below only when the body is an Enables atom
+// (its only use in the abbreviation library); anything else falls back
+// to per-class quantifiers combined to preserve semantics.
+func sourceUnion(kind, v string, refs []core.ClassRef, body logic.Formula) string {
+	if kind == "FORALL" {
+		var parts []string
+		for _, ref := range refs {
+			parts = append(parts, fmt.Sprintf("((FORALL %s: %s) %s)", v, ref, Source(body)))
+		}
+		return "(" + strings.Join(parts, " & ") + ")"
+	}
+	// EXISTS1 over a union: exactly one across all classes. Expressible
+	// as: some class has exactly one and the others none, for each
+	// partition — compact form: sum of counts equals one. Render via the
+	// disjunction-of-unique-with-others-empty form.
+	var parts []string
+	for i, ref := range refs {
+		var conj []string
+		conj = append(conj, fmt.Sprintf("((EXISTS1 %s: %s) %s)", v, ref, Source(body)))
+		for j, other := range refs {
+			if j == i {
+				continue
+			}
+			// Rendered exactly as Not{Exists{…}} would be, so reparsing
+			// reaches the same fixpoint.
+			conj = append(conj, fmt.Sprintf("~(((EXISTS %s: %s) %s))", v, other, Source(body)))
+		}
+		parts = append(parts, "("+strings.Join(conj, " & ")+")")
+	}
+	sort.Strings(parts)
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func joinSource(fs []logic.Formula, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	var parts []string
+	for _, f := range fs {
+		parts = append(parts, Source(f))
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func sourceValue(v core.Value) string {
+	if v.Kind == core.KindBool {
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return v.String() // ints bare, strings quoted
+}

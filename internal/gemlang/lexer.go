@@ -1,0 +1,191 @@
+// Package gemlang implements a concrete syntax for GEM specifications
+// closely following the paper's notation (ELEMENT TYPE / GROUP TYPE /
+// EVENTS / RESTRICTIONS / PORTS / THREAD declarations and first-order
+// restriction formulae with temporal operators), together with a lexer and
+// recursive-descent parser producing the spec IR. Type descriptions follow
+// the paper's text-substitution semantics: a type stores its body tokens
+// and instantiation substitutes arguments before re-parsing.
+//
+// Operator spellings (ASCII renderings of the paper's symbols):
+//
+//	|>    enable relation  (⊳)
+//	~>    element order    (⇒ₑ)
+//	=>    temporal order   (⇒)
+//	||    potential concurrency
+//	[]    henceforth       (□)
+//	<>    eventually       (◇)
+//	->    implication      (⊃)
+//	<->   equivalence
+//	&  |  ~                conjunction, disjunction, negation
+package gemlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind identifies a token kind.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokKeyword // uppercase structural keywords and lowercase predicate keywords
+	TokOp
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Is reports whether the token is the given keyword or operator.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TokKeyword || t.Kind == TokOp) && t.Text == text
+}
+
+var keywords = map[string]bool{
+	// structural
+	"ELEMENT": true, "GROUP": true, "TYPE": true, "EVENTS": true,
+	"RESTRICTIONS": true, "MEMBERS": true, "PORTS": true, "END": true,
+	"THREAD": true, "SPEC": true, "RESTRICTION": true, "ADD": true,
+	// quantifiers
+	"FORALL": true, "EXISTS": true, "EXISTS1": true, "ATMOST1": true,
+	"FORALLTHREAD": true, "EXISTSTHREAD": true,
+	// abbreviations
+	"PREREQ": true, "NDPREREQ": true, "FORK": true, "JOIN": true,
+	"COUNT": true, "FIFO": true, "IN": true,
+	// literals
+	"TRUE": true, "FALSE": true,
+	// predicate keywords (lowercase, as in the paper's prose style)
+	"occurred": true, "new": true, "potential": true, "at": true, "in": true,
+	"distinct": true,
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"<->", "=>", "->", "|>", "~>", "||", "[]", "<>", "::", "..",
+	"<=", ">=", "!=", "&", "|", "~", "(", ")", ",", ":", ";", ".",
+	"=", "<", ">", "@", "{", "}", "-", "*",
+}
+
+// Lex tokenizes source text. Comments run from "//" or "--" to end of
+// line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case strings.HasPrefix(src[i:], "//") || strings.HasPrefix(src[i:], "--"):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\n' {
+					return nil, fmt.Errorf("gemlang:%d:%d: unterminated string", startLine, startCol)
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("gemlang:%d:%d: unterminated string", startLine, startCol)
+			}
+			advance(1)
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: startLine, Col: startCol})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1])) && numericContext(toks)):
+			startLine, startCol := line, col
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[i:j], Line: startLine, Col: startCol})
+			advance(j - i)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: startLine, Col: startCol})
+			advance(j - i)
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TokOp, Text: op, Line: line, Col: col})
+					advance(len(op))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("gemlang:%d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+// numericContext reports whether a '-' at the current point should start a
+// negative integer literal: only after an operator or comparison, never
+// after an identifier or number (where it would be part of "->").
+func numericContext(toks []Token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.Kind {
+	case TokIdent, TokInt, TokString:
+		return false
+	case TokOp:
+		return last.Text != ")" && last.Text != "}"
+	default:
+		return true
+	}
+}

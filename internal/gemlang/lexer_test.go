@@ -1,0 +1,161 @@
+package gemlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind != TokEOF {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`ELEMENT Var EVENTS Assign(newval: INTEGER) END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ELEMENT", "Var", "EVENTS", "Assign", "(", "newval", ":", "INTEGER", ")", "END"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+	if toks[0].Kind != TokKeyword || toks[1].Kind != TokIdent {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`a |> b ~> c => d <-> e -> f & g | h ~ [] <> :: || <= >= != { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "|>", "b", "~>", "c", "=>", "d", "<->", "e", "->", "f",
+		"&", "g", "|", "h", "~", "[]", "<>", "::", "||", "<=", ">=", "!=", "{", "}"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexOperatorMaximalMunch(t *testing.T) {
+	// "<->" must not lex as "<" "->", and "||" not as "|" "|".
+	toks, err := Lex(`<-> || |> <>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	if len(got) != 4 {
+		t.Errorf("tokens = %v, want 4 operators", got)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "A // line comment\nB -- another\nC"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); strings.Join(got, "") != "ABC" {
+		t.Errorf("tokens = %v", got)
+	}
+}
+
+func TestLexStringsAndInts(t *testing.T) {
+	toks, err := Lex(`"hello world" 42 x.val = -7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello world" {
+		t.Errorf("string token = %+v", toks[0])
+	}
+	if toks[1].Kind != TokInt || toks[1].Text != "42" {
+		t.Errorf("int token = %+v", toks[1])
+	}
+	// -7 after '=' is a negative literal.
+	last := toks[len(toks)-2]
+	if last.Kind != TokInt || last.Text != "-7" {
+		t.Errorf("negative literal = %+v", last)
+	}
+}
+
+func TestLexArrowNotNegative(t *testing.T) {
+	toks, err := Lex(`a -> b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); strings.Join(got, " ") != "a -> b" {
+		t.Errorf("tokens = %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated string must fail")
+	}
+	if _, err := Lex("\"multi\nline\""); err == nil {
+		t.Error("newline in string must fail")
+	}
+	if _, err := Lex(`a $ b`); err == nil {
+		t.Error("unexpected character must fail")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("A\n  B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("A at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("B at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: TokEOF}).String() != "<eof>" {
+		t.Error("EOF string wrong")
+	}
+	if (Token{Kind: TokString, Text: "x"}).String() != `"x"` {
+		t.Error("string token rendering wrong")
+	}
+	if (Token{Kind: TokIdent, Text: "abc"}).String() != "abc" {
+		t.Error("ident rendering wrong")
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	toks, err := Lex(`occurred new potential at in distinct FORALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:7] {
+		if tok.Kind != TokKeyword {
+			t.Errorf("%q should be a keyword", tok.Text)
+		}
+	}
+	toks2, err := Lex(`occurredX news`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks2[:2] {
+		if tok.Kind != TokIdent {
+			t.Errorf("%q should be an identifier", tok.Text)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package history implements GEM histories and valid history sequences
+// (Section 7 of the paper). A history is a prefix of a computation: a
+// subset of its events closed under temporal predecessors. A valid history
+// sequence (vhs) is a monotonically increasing sequence of histories in
+// which all events first occurring in the same history are pairwise
+// potentially concurrent.
+package history
+
+import (
+	"fmt"
+
+	"gem/internal/core"
+	"gem/internal/order"
+)
+
+// History is a prefix of a computation, represented as a set of event ids.
+type History struct {
+	c   *core.Computation
+	set order.Bitset
+}
+
+// Empty returns the empty history of c.
+func Empty(c *core.Computation) History {
+	return History{c: c, set: order.NewBitset(c.NumEvents())}
+}
+
+// Full returns the complete computation as a history.
+func Full(c *core.Computation) History {
+	return History{c: c, set: c.FullHistory()}
+}
+
+// FromSet wraps an event set as a history of c, reporting an error if the
+// set is not prefix-closed (all temporal predecessors of each member must
+// be members).
+func FromSet(c *core.Computation, set order.Bitset) (History, error) {
+	if !order.IsIdeal(c.Preds(), set) {
+		return History{}, fmt.Errorf("history: set %s is not prefix-closed", set)
+	}
+	return History{c: c, set: set.Clone()}, nil
+}
+
+// FromEvents builds a history from the down-closure of the given events.
+func FromEvents(c *core.Computation, ids ...core.EventID) History {
+	seed := order.NewBitset(c.NumEvents())
+	for _, id := range ids {
+		seed.Set(int(id))
+	}
+	return History{c: c, set: order.DownClosure(c.Preds(), seed)}
+}
+
+// Computation returns the computation this history is a prefix of.
+func (h History) Computation() *core.Computation { return h.c }
+
+// Set returns the underlying event set. It must not be modified.
+func (h History) Set() order.Bitset { return h.set }
+
+// Has reports whether the event occurred in this history.
+func (h History) Has(id core.EventID) bool { return h.set.Has(int(id)) }
+
+// Len returns the number of events in the history.
+func (h History) Len() int { return h.set.Count() }
+
+// IsFull reports whether the history is the complete computation.
+func (h History) IsFull() bool { return h.set.Count() == h.c.NumEvents() }
+
+// Equal reports whether two histories contain the same events.
+func (h History) Equal(other History) bool { return h.set.Equal(other.set) }
+
+// PrefixOf reports h ⊑ other.
+func (h History) PrefixOf(other History) bool { return h.set.SubsetOf(other.set) }
+
+// Extend returns a new history with the additional events included. It
+// reports an error if the result would not be prefix-closed.
+func (h History) Extend(ids ...core.EventID) (History, error) {
+	next := h.set.Clone()
+	for _, id := range ids {
+		next.Set(int(id))
+	}
+	if !order.IsIdeal(h.c.Preds(), next) {
+		return History{}, fmt.Errorf("history: extension by %v is not prefix-closed", ids)
+	}
+	return History{c: h.c, set: next}, nil
+}
+
+// New implements the paper's new(e): e occurred and no event has observably
+// followed it — there is no e' in the history with e ⇒ e'.
+func (h History) New(id core.EventID) bool {
+	if !h.Has(id) {
+		return false
+	}
+	return !h.c.Reach()[int(id)].Intersects(h.set)
+}
+
+// Potential reports whether e could legally extend this history: e has not
+// occurred, but every temporal predecessor of e has.
+func (h History) Potential(id core.EventID) bool {
+	if h.Has(id) {
+		return false
+	}
+	return h.c.Preds()[int(id)].SubsetOf(h.set)
+}
+
+// At implements the paper's intermediate-control-point predicate
+// "e at E2": e occurred and has not enabled any event of class E2 within
+// this history.
+func (h History) At(id core.EventID, class core.ClassRef) bool {
+	if !h.Has(id) {
+		return false
+	}
+	for _, succ := range h.c.Enabled(id) {
+		if h.Has(succ) && class.Matches(h.c.Event(succ)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Frontier returns the events that could individually extend the history
+// (the minimal events of the complement), in id order.
+func (h History) Frontier() []core.EventID {
+	mins := order.MinimalOutside(h.c.Reach(), h.c.Preds(), h.set)
+	out := make([]core.EventID, len(mins))
+	for i, v := range mins {
+		out[i] = core.EventID(v)
+	}
+	return out
+}
+
+// String renders the history as the set of event names.
+func (h History) String() string {
+	s := "{"
+	first := true
+	h.set.ForEach(func(i int) bool {
+		if !first {
+			s += ", "
+		}
+		first = false
+		s += h.c.Event(core.EventID(i)).Name()
+		return true
+	})
+	return s + "}"
+}
+
+// Enumerate calls fn with every history of c (every prefix-closed subset,
+// including the empty one). Stops early if fn returns false or, when
+// limit > 0, after limit histories. Returns the number produced. The
+// History passed to fn owns its set; callers must not modify it but may
+// retain it.
+func Enumerate(c *core.Computation, limit int, fn func(h History) bool) int {
+	return order.Ideals(c.Reach(), limit, func(ideal order.Bitset) bool {
+		return fn(History{c: c, set: ideal})
+	})
+}
+
+// Count returns the total number of histories of c.
+func Count(c *core.Computation) int {
+	return Enumerate(c, 0, func(History) bool { return true })
+}

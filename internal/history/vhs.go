@@ -1,0 +1,135 @@
+package history
+
+import (
+	"fmt"
+
+	"gem/internal/core"
+	"gem/internal/order"
+)
+
+// Sequence is a (candidate) valid history sequence: α0 ⊑ α1 ⊑ ….
+type Sequence []History
+
+// Validate checks the two vhs conditions from the paper: the sequence is
+// monotonically increasing, and any two events first occurring in the same
+// history are potentially concurrent.
+func (s Sequence) Validate() error {
+	for i := 1; i < len(s); i++ {
+		if !s[i-1].PrefixOf(s[i]) {
+			return fmt.Errorf("history: step %d is not monotone", i)
+		}
+		delta := s[i].Set().Clone()
+		delta.AndNotWith(s[i-1].Set())
+		members := delta.Members()
+		c := s[i].Computation()
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				ea, eb := core.EventID(members[a]), core.EventID(members[b])
+				if !c.Concurrent(ea, eb) {
+					return fmt.Errorf("history: step %d adds ordered events %s and %s simultaneously",
+						i, c.Event(ea).Name(), c.Event(eb).Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsValid reports whether the sequence is a valid history sequence.
+func (s Sequence) IsValid() bool { return s.Validate() == nil }
+
+// Tail returns the suffix s[i:]. Per the paper's tail-closure property, a
+// tail of a vhs is a vhs.
+func (s Sequence) Tail(i int) Sequence { return s[i:] }
+
+// IsComplete reports whether the sequence starts at the empty history and
+// ends at the full computation — i.e. it describes an entire execution.
+func (s Sequence) IsComplete() bool {
+	if len(s) == 0 {
+		return false
+	}
+	return s[0].Len() == 0 && s[len(s)-1].IsFull()
+}
+
+// String renders the sequence.
+func (s Sequence) String() string {
+	out := ""
+	for i, h := range s {
+		if i > 0 {
+			out += " ⊑ "
+		}
+		out += h.String()
+	}
+	return out
+}
+
+// EnumerateComplete enumerates every maximal valid history sequence of c:
+// strictly increasing sequences from the empty history to the full
+// computation, where each step adds a non-empty antichain of pairwise
+// concurrent events whose predecessors are already present. fn receives
+// each complete sequence; the slice and its histories are owned by the
+// callback (they are freshly allocated per sequence). Enumeration stops
+// early when fn returns false or, when limit > 0, after limit sequences.
+// Returns the number produced.
+func EnumerateComplete(c *core.Computation, limit int, fn func(s Sequence) bool) int {
+	n := c.NumEvents()
+	count := 0
+	stop := false
+
+	var rec func(cur order.Bitset, seq []order.Bitset)
+	rec = func(cur order.Bitset, seq []order.Bitset) {
+		if stop {
+			return
+		}
+		if cur.Count() == n {
+			count++
+			out := make(Sequence, len(seq))
+			for i, s := range seq {
+				out[i] = History{c: c, set: s}
+			}
+			if !fn(out) || (limit > 0 && count >= limit) {
+				stop = true
+			}
+			return
+		}
+		frontier := order.MinimalOutside(c.Reach(), c.Preds(), cur)
+		cmp := func(u, v int) bool {
+			return c.Temporal(core.EventID(u), core.EventID(v)) || c.Temporal(core.EventID(v), core.EventID(u))
+		}
+		order.Antichains(frontier, cmp, func(chain []int) bool {
+			next := cur.Clone()
+			for _, v := range chain {
+				next.Set(v)
+			}
+			rec(next, append(seq, next))
+			return !stop
+		})
+	}
+	empty := order.NewBitset(n)
+	rec(empty, []order.Bitset{empty})
+	return count
+}
+
+// EnumerateLinear enumerates only the step-size-one complete sequences —
+// the linear extensions of the temporal order, viewed as history
+// sequences. This is the interleaving semantics many other models use; GEM
+// admits the larger vhs set (simultaneous concurrent steps). Used by the
+// E10 ablation.
+func EnumerateLinear(c *core.Computation, limit int, fn func(s Sequence) bool) int {
+	n := c.NumEvents()
+	return order.LinearExtensions(c.Reach(), limit, func(ext []int) bool {
+		seq := make(Sequence, 0, n+1)
+		set := order.NewBitset(n)
+		seq = append(seq, History{c: c, set: set.Clone()})
+		for _, v := range ext {
+			set.Set(v)
+			seq = append(seq, History{c: c, set: set.Clone()})
+		}
+		return fn(seq)
+	})
+}
+
+// CountComplete returns the number of maximal valid history sequences.
+func CountComplete(c *core.Computation) int {
+	return EnumerateComplete(c, 0, func(Sequence) bool { return true })
+}

@@ -1,0 +1,166 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperVHS reproduces the Section 7 valid-history-sequence enumeration
+// (experiment E2): the diamond computation has exactly three maximal vhs —
+// α0,α1,α3,α4 / α0,α2,α3,α4 / α0,α3,α4 (each preceded here by the empty
+// history).
+func TestPaperVHS(t *testing.T) {
+	c, _ := diamond(t)
+	var seqs []Sequence
+	n := EnumerateComplete(c, 0, func(s Sequence) bool {
+		seqs = append(seqs, s)
+		return true
+	})
+	if n != 3 || len(seqs) != 3 {
+		t.Fatalf("found %d maximal vhs, want 3", n)
+	}
+	// Collect signature strings: sizes of each history.
+	sigs := make(map[string]bool)
+	for _, s := range seqs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("enumerated sequence invalid: %v", err)
+		}
+		if !s.IsComplete() {
+			t.Error("sequence should run from empty to full")
+		}
+		sig := ""
+		for _, h := range s {
+			sig += string(rune('0' + h.Len()))
+		}
+		sigs[sig] = true
+	}
+	// 0,1,2,3,4 twice (via e2 first or e3 first) collapses to one
+	// signature; 0,1,3,4 is the simultaneous step.
+	if !sigs["01234"] || !sigs["0134"] {
+		t.Errorf("sequence shapes = %v, want 01234 and 0134", sigs)
+	}
+}
+
+func TestVHSValidateRejectsNonMonotone(t *testing.T) {
+	c, ids := diamond(t)
+	s := Sequence{FromEvents(c, ids[1]), FromEvents(c, ids[0])}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "monotone") {
+		t.Errorf("want monotonicity error, got %v", err)
+	}
+}
+
+func TestVHSValidateRejectsOrderedSimultaneousStep(t *testing.T) {
+	c, ids := diamond(t)
+	// Jump from {} to {e1, e2}: e1 ⇒ e2, so they cannot first occur in the
+	// same history.
+	s := Sequence{Empty(c), FromEvents(c, ids[1])}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "ordered") {
+		t.Errorf("want concurrency violation, got %v", err)
+	}
+}
+
+func TestVHSAcceptsConcurrentStep(t *testing.T) {
+	c, ids := diamond(t)
+	// {e1} -> {e1, e2, e3}: e2 and e3 are concurrent, legal simultaneous
+	// occurrence ("at the same time" in the paper).
+	h13, err := FromEvents(c, ids[0]).Extend(ids[1], ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sequence{Empty(c), FromEvents(c, ids[0]), h13}
+	if err := s.Validate(); err != nil {
+		t.Errorf("concurrent simultaneous step should be valid: %v", err)
+	}
+	if !s.IsValid() {
+		t.Error("IsValid disagrees with Validate")
+	}
+}
+
+// TestVHSTailClosure verifies the paper's tail-closure property on all
+// enumerated sequences: every tail of a vhs is a vhs.
+func TestVHSTailClosure(t *testing.T) {
+	c, _ := diamond(t)
+	EnumerateComplete(c, 0, func(s Sequence) bool {
+		for i := range s {
+			if err := s.Tail(i).Validate(); err != nil {
+				t.Errorf("tail %d of %v invalid: %v", i, s, err)
+			}
+		}
+		return true
+	})
+}
+
+func TestVHSIsComplete(t *testing.T) {
+	c, ids := diamond(t)
+	if (Sequence{}).IsComplete() {
+		t.Error("empty sequence is not complete")
+	}
+	if (Sequence{Empty(c)}).IsComplete() {
+		t.Error("sequence not reaching full computation is not complete")
+	}
+	if (Sequence{Full(c)}).IsComplete() {
+		t.Error("sequence not starting empty is not complete")
+	}
+	_ = ids
+}
+
+func TestEnumerateLinear(t *testing.T) {
+	c, _ := diamond(t)
+	n := EnumerateLinear(c, 0, func(s Sequence) bool {
+		if err := s.Validate(); err != nil {
+			t.Errorf("linear sequence invalid: %v", err)
+		}
+		if len(s) != c.NumEvents()+1 {
+			t.Errorf("linear sequence length %d, want %d", len(s), c.NumEvents()+1)
+		}
+		return true
+	})
+	// The diamond has 2 linear extensions but 3 vhs: linear semantics miss
+	// the simultaneous step — the E10 ablation's point.
+	if n != 2 {
+		t.Errorf("linear sequences = %d, want 2", n)
+	}
+	if got := CountComplete(c); got != 3 {
+		t.Errorf("complete vhs = %d, want 3", got)
+	}
+}
+
+func TestEnumerateCompleteLimit(t *testing.T) {
+	c, _ := diamond(t)
+	if n := EnumerateComplete(c, 2, func(Sequence) bool { return true }); n != 2 {
+		t.Errorf("limited enumeration produced %d, want 2", n)
+	}
+	calls := 0
+	EnumerateComplete(c, 0, func(Sequence) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop after %d calls, want 1", calls)
+	}
+}
+
+// Property: every enumerated complete sequence validates, is complete, and
+// linear-extension count ≤ vhs count (linear sequences are a subset).
+func TestQuickVHSProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomComputation(seed, 6)
+		ok := true
+		vhsCount := EnumerateComplete(c, 500, func(s Sequence) bool {
+			if s.Validate() != nil || !s.IsComplete() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		linCount := EnumerateLinear(c, 500, func(Sequence) bool { return true })
+		if vhsCount < 500 && linCount < 500 && linCount > vhsCount {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

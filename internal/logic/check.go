@@ -1,0 +1,223 @@
+package logic
+
+import (
+	"fmt"
+
+	"gem/internal/core"
+	"gem/internal/history"
+)
+
+// Counterexample describes where and why a restriction failed.
+type Counterexample struct {
+	Formula Formula
+	History history.History   // the violating history (first history of the sequence tail for temporal failures)
+	Seq     history.Sequence  // the violating sequence, when checked over sequences
+	Comp    *core.Computation // the computation being checked
+}
+
+// Error renders the counterexample.
+func (cx *Counterexample) Error() string {
+	if cx == nil {
+		return "<no counterexample>"
+	}
+	s := fmt.Sprintf("restriction violated: %s\n  at history %s", cx.Formula, cx.History)
+	if cx.Seq != nil {
+		s += fmt.Sprintf("\n  along sequence of %d histories", len(cx.Seq))
+	}
+	return s
+}
+
+// CheckOptions bound the cost of checking.
+type CheckOptions struct {
+	// MaxSequences caps the number of complete valid history sequences
+	// examined for temporal formulae (0 = unlimited).
+	MaxSequences int
+	// MaxHistories caps the number of histories examined for history
+	// (invariant) formulae (0 = unlimited).
+	MaxHistories int
+	// LinearOnly restricts sequence checking to step-size-one sequences
+	// (linear extensions). Used by the E10 ablation; full GEM semantics
+	// checks all valid history sequences.
+	LinearOnly bool
+}
+
+// Holds checks a restriction against a computation following GEM
+// semantics:
+//
+//   - A formula containing temporal operators must hold on every complete
+//     valid history sequence of the computation.
+//   - A formula containing history predicates (occurred, new, potential,
+//     at) but no temporal operators is an invariant: it must hold at every
+//     history.
+//   - A purely structural formula is evaluated once at the full history.
+//
+// It returns nil when the restriction holds, or a counterexample.
+func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
+	// Universal checking distributes over conjunction; checking conjuncts
+	// separately lets each pick its cheapest sound strategy (notably the
+	// □-invariant reduction below).
+	if and, ok := f.(And); ok {
+		for _, sub := range and {
+			if cx := Holds(sub, c, opts); cx != nil {
+				return cx
+			}
+		}
+		return nil
+	}
+	switch {
+	case HasTemporal(f):
+		// □p for immediate p is an invariant: it holds on every valid
+		// history sequence iff p holds at every history (every history
+		// occurs in some complete sequence, and every sequence member is
+		// a history). Deciding it over histories avoids enumerating the
+		// exponentially larger sequence set, exactly.
+		if box, ok := f.(Box); ok && !HasTemporal(box.F) {
+			return holdsOnHistories(box.F, c, opts.MaxHistories)
+		}
+		// □φ where φ's only temporal subformulas are positive □ of
+		// immediate bodies (e.g. the paper's priority restriction
+		// □(pending → □(served-ordering))) reduces exactly to a check
+		// over pairs of histories h1 ⊑ h2: immediate parts of φ read h1,
+		// inner □ bodies must hold at every h2 ⊇ h1. Every such pair
+		// occurs in some complete valid history sequence and vice versa.
+		if box, ok := f.(Box); ok && !opts.LinearOnly && pairCheckable(box.F, true) {
+			return holdsOnHistoryPairs(box.F, c, opts.MaxHistories)
+		}
+		return holdsOnSequences(f, c, opts)
+	case HasHistoryPredicate(f):
+		return holdsOnHistories(f, c, opts.MaxHistories)
+	default:
+		env := NewEnv(history.Full(c))
+		if !f.Eval(env) {
+			return &Counterexample{Formula: f, History: env.H, Comp: c}
+		}
+		return nil
+	}
+}
+
+// HoldsAtFull evaluates the formula at the complete history only,
+// regardless of its shape. Useful for postcondition-style checks
+// (functional correctness at termination).
+func HoldsAtFull(f Formula, c *core.Computation) *Counterexample {
+	env := NewEnv(history.Full(c))
+	if !f.Eval(env) {
+		return &Counterexample{Formula: f, History: env.H, Comp: c}
+	}
+	return nil
+}
+
+func holdsOnHistories(f Formula, c *core.Computation, limit int) *Counterexample {
+	var cx *Counterexample
+	history.Enumerate(c, limit, func(h history.History) bool {
+		if !f.Eval(NewEnv(h)) {
+			cx = &Counterexample{Formula: f, History: h, Comp: c}
+			return false
+		}
+		return true
+	})
+	return cx
+}
+
+func holdsOnSequences(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
+	var cx *Counterexample
+	examine := func(s history.Sequence) bool {
+		if !f.Eval(NewSeqEnv(s, 0)) {
+			cx = &Counterexample{Formula: f, History: s[0], Seq: s, Comp: c}
+			return false
+		}
+		return true
+	}
+	if opts.LinearOnly {
+		history.EnumerateLinear(c, opts.MaxSequences, examine)
+	} else {
+		history.EnumerateComplete(c, opts.MaxSequences, examine)
+	}
+	return cx
+}
+
+// pairCheckable reports whether the formula's temporal subformulas are
+// exactly positive-polarity Box operators with immediate bodies, and no
+// Diamond occurs. For such formulas □f is decidable over history pairs.
+func pairCheckable(f Formula, positive bool) bool {
+	switch g := f.(type) {
+	case Box:
+		return positive && !HasTemporal(g.F)
+	case Diamond:
+		return false
+	case Not:
+		return pairCheckable(g.F, !positive)
+	case And:
+		for _, sub := range g {
+			if !pairCheckable(sub, positive) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range g {
+			if !pairCheckable(sub, positive) {
+				return false
+			}
+		}
+		return true
+	case Implies:
+		return pairCheckable(g.If, !positive) && pairCheckable(g.Then, positive)
+	case Iff:
+		// Both polarities occur on both sides.
+		return !HasTemporal(g.A) && !HasTemporal(g.B)
+	case ForAll:
+		return pairCheckable(g.Body, positive)
+	case Exists:
+		return pairCheckable(g.Body, positive)
+	case ExistsUnique:
+		return !HasTemporal(g.Body)
+	case AtMostOne:
+		return !HasTemporal(g.Body)
+	case ForAllThread:
+		return pairCheckable(g.Body, positive)
+	case ExistsThread:
+		return pairCheckable(g.Body, positive)
+	case ForAllIn:
+		return pairCheckable(g.Body, positive)
+	case ExistsUniqueIn:
+		return !HasTemporal(g.Body)
+	default:
+		return !HasTemporal(f)
+	}
+}
+
+// holdsOnHistoryPairs decides □f over all valid history sequences by
+// evaluating f on every pair h1 ⊑ h2, presented to the evaluator as the
+// two-history sequence (h1, h2): immediate parts of f read h1, inner □
+// bodies are required at both h1 and h2. Sound and complete for
+// pairCheckable formulas.
+func holdsOnHistoryPairs(f Formula, c *core.Computation, limit int) *Counterexample {
+	var all []history.History
+	history.Enumerate(c, limit, func(h history.History) bool {
+		all = append(all, h)
+		return true
+	})
+	for _, h1 := range all {
+		for _, h2 := range all {
+			if !h1.Set().SubsetOf(h2.Set()) {
+				continue
+			}
+			seq := history.Sequence{h1, h2}
+			if !f.Eval(NewSeqEnv(seq, 0)) {
+				return &Counterexample{Formula: Box{F: f}, History: h1, Seq: seq, Comp: c}
+			}
+		}
+	}
+	return nil
+}
+
+// HoldsAll checks several restrictions, returning the first
+// counterexample, annotated with its index, or (-1, nil) if all hold.
+func HoldsAll(fs []Formula, c *core.Computation, opts CheckOptions) (int, *Counterexample) {
+	for i, f := range fs {
+		if cx := Holds(f, c, opts); cx != nil {
+			return i, cx
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,125 @@
+// Package logic implements GEM restrictions: first-order formulae over GEM
+// predicates (occurred, @, ⊳, ⇒ₑ, ⇒, parameter equality, thread
+// membership), closed under boolean connectives and bounded quantifiers,
+// extended with the temporal operators □ (henceforth) and ◇ (eventually)
+// interpreted over valid history sequences as in Section 7 of the paper.
+//
+// Immediate assertions are evaluated against a history; temporal assertions
+// against a position in a history sequence (S ⊨ □p iff every tail satisfies
+// p; S ⊨ p for immediate p iff the first history does).
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"gem/internal/core"
+	"gem/internal/history"
+)
+
+// Env is an evaluation environment: the computation, the current history
+// (for immediate assertions), optionally the enclosing history sequence and
+// position (for temporal operators), and variable bindings.
+type Env struct {
+	C    *core.Computation
+	Seq  history.Sequence // nil when evaluating outside a sequence
+	Idx  int              // position within Seq
+	H    history.History  // current history
+	vars map[string]core.EventID
+	tids map[string]string // thread-variable bindings
+}
+
+// NewEnv returns an environment for evaluating immediate assertions at
+// history h.
+func NewEnv(h history.History) *Env {
+	return &Env{C: h.Computation(), H: h}
+}
+
+// NewSeqEnv returns an environment positioned at s[idx].
+func NewSeqEnv(s history.Sequence, idx int) *Env {
+	return &Env{C: s[idx].Computation(), Seq: s, Idx: idx, H: s[idx]}
+}
+
+// Lookup returns the event bound to an event variable.
+func (e *Env) Lookup(name string) (core.EventID, bool) {
+	id, ok := e.vars[name]
+	return id, ok
+}
+
+// bind returns a child environment with an additional event binding.
+func (e *Env) bind(name string, id core.EventID) *Env {
+	child := *e
+	child.vars = make(map[string]core.EventID, len(e.vars)+1)
+	for k, v := range e.vars {
+		child.vars[k] = v
+	}
+	child.vars[name] = id
+	return &child
+}
+
+// bindThread returns a child environment with an additional thread binding.
+func (e *Env) bindThread(name, tid string) *Env {
+	child := *e
+	child.tids = make(map[string]string, len(e.tids)+1)
+	for k, v := range e.tids {
+		child.tids[k] = v
+	}
+	child.tids[name] = tid
+	return &child
+}
+
+// at returns a sibling environment moved to position idx of the sequence.
+func (e *Env) at(idx int) *Env {
+	child := *e
+	child.Idx = idx
+	child.H = e.Seq[idx]
+	return &child
+}
+
+// Bindings renders the current variable bindings for diagnostics.
+func (e *Env) Bindings() string {
+	if len(e.vars) == 0 && len(e.tids) == 0 {
+		return ""
+	}
+	var parts []string
+	for k, v := range e.vars {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, e.C.Event(v).Name()))
+	}
+	for k, v := range e.tids {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+	}
+	sortStrings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// Formula is a GEM restriction or sub-formula.
+type Formula interface {
+	Eval(env *Env) bool
+	String() string
+}
+
+// mustEvent resolves an event variable, panicking on unbound names — an
+// unbound variable is a bug in the restriction, not a runtime condition.
+func mustEvent(env *Env, name string) core.EventID {
+	id, ok := env.vars[name]
+	if !ok {
+		panic(fmt.Sprintf("logic: unbound event variable %q", name))
+	}
+	return id
+}
+
+func mustThread(env *Env, name string) string {
+	tid, ok := env.tids[name]
+	if !ok {
+		panic(fmt.Sprintf("logic: unbound thread variable %q", name))
+	}
+	return tid
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"gem/internal/core"
+)
+
+// ThreadSep separates a thread type from its instance number in thread
+// identifiers (e.g. "piRW#3" is instance 3 of thread type piRW).
+const ThreadSep = "#"
+
+// ThreadID builds the canonical thread-instance identifier for a thread
+// type and instance number.
+func ThreadID(threadType string, n int) string {
+	return fmt.Sprintf("%s%s%d", threadType, ThreadSep, n)
+}
+
+// ThreadTypeOf returns the thread type of an instance identifier.
+func ThreadTypeOf(tid string) string {
+	if i := strings.LastIndex(tid, ThreadSep); i >= 0 {
+		return tid[:i]
+	}
+	return tid
+}
+
+// classDomain returns the events of the computation matching the class
+// reference. Quantifier domains are all events of the computation;
+// occurrence in the current history is tested separately via Occurred, as
+// in the paper's formulae.
+func classDomain(env *Env, ref core.ClassRef) []core.EventID {
+	return env.C.EventsOf(ref)
+}
+
+// threadDomain returns the distinct thread-instance identifiers of the
+// given thread type present in the computation, in first-appearance order.
+func threadDomain(env *Env, threadType string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, e := range env.C.Events() {
+		for _, tid := range e.Threads {
+			if !seen[tid] && ThreadTypeOf(tid) == threadType {
+				seen[tid] = true
+				out = append(out, tid)
+			}
+		}
+	}
+	return out
+}
+
+// ForAll is universal quantification of an event variable over an event
+// class: (∀ v: Ref) Body.
+type ForAll struct {
+	Var  string
+	Ref  core.ClassRef
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f ForAll) Eval(env *Env) bool {
+	for _, id := range classDomain(env, f.Ref) {
+		if !f.Body.Eval(env.bind(f.Var, id)) {
+			return false
+		}
+	}
+	return true
+}
+func (f ForAll) String() string {
+	return fmt.Sprintf("(FORALL %s: %s) %s", f.Var, f.Ref, f.Body)
+}
+
+// Exists is existential quantification over an event class.
+type Exists struct {
+	Var  string
+	Ref  core.ClassRef
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f Exists) Eval(env *Env) bool {
+	for _, id := range classDomain(env, f.Ref) {
+		if f.Body.Eval(env.bind(f.Var, id)) {
+			return true
+		}
+	}
+	return false
+}
+func (f Exists) String() string {
+	return fmt.Sprintf("(EXISTS %s: %s) %s", f.Var, f.Ref, f.Body)
+}
+
+// ExistsUnique is the paper's ∃! quantifier: exactly one event of the
+// class satisfies the body.
+type ExistsUnique struct {
+	Var  string
+	Ref  core.ClassRef
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f ExistsUnique) Eval(env *Env) bool {
+	count := 0
+	for _, id := range classDomain(env, f.Ref) {
+		if f.Body.Eval(env.bind(f.Var, id)) {
+			count++
+			if count > 1 {
+				return false
+			}
+		}
+	}
+	return count == 1
+}
+func (f ExistsUnique) String() string {
+	return fmt.Sprintf("(EXISTS1 %s: %s) %s", f.Var, f.Ref, f.Body)
+}
+
+// AtMostOne is the paper's "∃ at most one" quantifier.
+type AtMostOne struct {
+	Var  string
+	Ref  core.ClassRef
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f AtMostOne) Eval(env *Env) bool {
+	count := 0
+	for _, id := range classDomain(env, f.Ref) {
+		if f.Body.Eval(env.bind(f.Var, id)) {
+			count++
+			if count > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+func (f AtMostOne) String() string {
+	return fmt.Sprintf("(ATMOST1 %s: %s) %s", f.Var, f.Ref, f.Body)
+}
+
+// ForAllThread quantifies a thread variable over all instances of a thread
+// type, e.g. the paper's "for all πRW-i".
+type ForAllThread struct {
+	Var  string
+	Type string
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f ForAllThread) Eval(env *Env) bool {
+	for _, tid := range threadDomain(env, f.Type) {
+		if !f.Body.Eval(env.bindThread(f.Var, tid)) {
+			return false
+		}
+	}
+	return true
+}
+func (f ForAllThread) String() string {
+	return fmt.Sprintf("(FORALLTHREAD %s: %s) %s", f.Var, f.Type, f.Body)
+}
+
+// ExistsThread quantifies a thread variable existentially.
+type ExistsThread struct {
+	Var  string
+	Type string
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f ExistsThread) Eval(env *Env) bool {
+	for _, tid := range threadDomain(env, f.Type) {
+		if f.Body.Eval(env.bindThread(f.Var, tid)) {
+			return true
+		}
+	}
+	return false
+}
+func (f ExistsThread) String() string {
+	return fmt.Sprintf("(EXISTSTHREAD %s: %s) %s", f.Var, f.Type, f.Body)
+}

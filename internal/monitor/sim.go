@@ -1,0 +1,627 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gem/internal/core"
+)
+
+// Run is one complete (or deadlocked) execution of a monitor program,
+// rendered as a GEM computation.
+type Run struct {
+	Comp      *core.Computation
+	FinalVars map[string]int64
+	Deadlock  bool
+}
+
+// ExploreOptions bounds the exhaustive exploration.
+type ExploreOptions struct {
+	// MaxRuns caps the number of distinct runs collected (0 = 100000).
+	MaxRuns int
+	// MaxSteps caps the steps of a single run, guarding against
+	// non-terminating programs (0 = 10000).
+	MaxSteps int
+	// NoReduction disables the partial-order reduction, branching over
+	// every enabled transition. Exponentially slower; used to validate
+	// that the reduction preserves the set of computations.
+	NoReduction bool
+}
+
+// Explore exhaustively enumerates the interleavings of the program under
+// Hoare monitor semantics and returns the distinct GEM computations
+// reached (distinct as partial orders: interleavings that differ only in
+// the order of concurrent events collapse). The second result reports
+// whether exploration was truncated by MaxRuns.
+func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
+	if opts.MaxRuns == 0 {
+		opts.MaxRuns = 100000
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 10000
+	}
+	seen := make(map[string]bool)
+	var runs []Run
+	truncated := false
+	var exploreErr error
+
+	var dfs func(m *machine)
+	dfs = func(m *machine) {
+		if truncated || exploreErr != nil {
+			return
+		}
+		if m.steps > opts.MaxSteps {
+			exploreErr = fmt.Errorf("monitor: run exceeded %d steps (non-terminating program?)", opts.MaxSteps)
+			return
+		}
+		// Apply invisible transitions eagerly, in place (no branching) —
+		// unless the reduction is disabled for validation runs.
+		if !opts.NoReduction {
+			for {
+				if m.steps > opts.MaxSteps {
+					exploreErr = fmt.Errorf("monitor: run exceeded %d steps (non-terminating program?)", opts.MaxSteps)
+					return
+				}
+				eager, _ := m.transitions(false)
+				if eager == nil {
+					break
+				}
+				if err := m.apply(*eager); err != nil {
+					exploreErr = err
+					return
+				}
+			}
+		}
+		_, branches := m.transitions(opts.NoReduction)
+		if len(branches) == 0 {
+			key := m.canonicalKey()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			run, err := m.finish()
+			if err != nil {
+				exploreErr = err
+				return
+			}
+			runs = append(runs, run)
+			if len(runs) >= opts.MaxRuns {
+				truncated = true
+			}
+			return
+		}
+		for _, t := range branches {
+			next := m.clone()
+			if err := next.apply(t); err != nil {
+				exploreErr = err
+				return
+			}
+			dfs(next)
+			if truncated || exploreErr != nil {
+				return
+			}
+		}
+	}
+	m, err := newMachine(p)
+	if err != nil {
+		return nil, false, err
+	}
+	dfs(m)
+	if exploreErr != nil {
+		return nil, false, exploreErr
+	}
+	return runs, truncated, nil
+}
+
+type procStatus int
+
+const (
+	statusReady procStatus = iota + 1
+	statusBlockedEntry
+	statusWaiting
+	statusUrgent
+	statusDone
+)
+
+type frame struct {
+	block []Stmt
+	idx   int
+}
+
+type procState struct {
+	status  procStatus
+	bodyIdx int
+	frames  []frame
+	args    map[string]int64
+	entry   string
+	lastEv  int
+	// resume bookkeeping
+	resuming bool   // must emit Release+Acq (signalled waiter)
+	signalEv int    // Signal event enabling our Release
+	waitCond string // condition the process last waited on
+}
+
+// resumeCond returns the condition whose Release the resuming process
+// must emit.
+func (p *procState) resumeCond() string { return p.waitCond }
+
+type evRec struct {
+	elem   string
+	class  string
+	params core.Params
+}
+
+type machine struct {
+	prog   *Program
+	vars   map[string]int64
+	procs  []procState
+	holder int
+	urgent []int
+	condQ  map[string][]int
+	entryQ []int
+
+	events    []evRec
+	edges     [][2]int
+	lastMonEv int
+	steps     int
+	// ext holds the cells of external shared elements accessed via
+	// Op{Element: …}.
+	ext map[string]int64
+}
+
+func newMachine(p *Program) (*machine, error) {
+	m := &machine{
+		prog:      p,
+		vars:      make(map[string]int64, len(p.Monitor.Vars)),
+		procs:     make([]procState, len(p.Processes)),
+		holder:    -1,
+		condQ:     make(map[string][]int, len(p.Monitor.Conds)),
+		lastMonEv: -1,
+		ext:       make(map[string]int64),
+	}
+	for _, v := range p.Monitor.Vars {
+		m.vars[v] = 0
+	}
+	for _, c := range p.Monitor.Conds {
+		m.condQ[c] = nil
+	}
+	for i := range m.procs {
+		m.procs[i] = procState{status: statusReady, lastEv: -1, signalEv: -1}
+	}
+	// Initialization runs to completion before any process step, holding
+	// the monitor conceptually.
+	env := &evalEnv{vars: m.vars, m: m}
+	if err := m.runInit(p.Monitor.Init, env); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *machine) runInit(body []Stmt, env *evalEnv) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case Assign:
+			m.vars[s.Var] = s.E.eval(env)
+			m.emitInternal(-1, m.prog.Monitor.VarElement(s.Var), "Assign",
+				core.Params{"newval": core.Int(m.vars[s.Var]), "proc": core.Str("init"), "entry": core.Str("init")})
+		case If:
+			branch := s.Else
+			if s.Cond.eval(env) != 0 {
+				branch = s.Then
+			}
+			if err := m.runInit(branch, env); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("monitor: statement %T not allowed in initialization", st)
+		}
+	}
+	return nil
+}
+
+func (m *machine) clone() *machine {
+	next := &machine{
+		prog:      m.prog,
+		vars:      make(map[string]int64, len(m.vars)),
+		procs:     make([]procState, len(m.procs)),
+		holder:    m.holder,
+		urgent:    append([]int(nil), m.urgent...),
+		condQ:     make(map[string][]int, len(m.condQ)),
+		entryQ:    append([]int(nil), m.entryQ...),
+		events:    append([]evRec(nil), m.events...),
+		edges:     append([][2]int(nil), m.edges...),
+		lastMonEv: m.lastMonEv,
+		steps:     m.steps,
+		ext:       make(map[string]int64, len(m.ext)),
+	}
+	for k, v := range m.ext {
+		next.ext[k] = v
+	}
+	for k, v := range m.vars {
+		next.vars[k] = v
+	}
+	for c, q := range m.condQ {
+		next.condQ[c] = append([]int(nil), q...)
+	}
+	for i, p := range m.procs {
+		cp := p
+		cp.frames = make([]frame, len(p.frames))
+		copy(cp.frames, p.frames)
+		if p.args != nil {
+			cp.args = make(map[string]int64, len(p.args))
+			for k, v := range p.args {
+				cp.args[k] = v
+			}
+		}
+		next.procs[i] = cp
+	}
+	return next
+}
+
+// emit appends an event enabled by the process's previous event plus any
+// extra enablers; it returns the event index.
+func (m *machine) emit(proc int, elem, class string, params core.Params, extra ...int) int {
+	idx := len(m.events)
+	m.events = append(m.events, evRec{elem: elem, class: class, params: params})
+	if proc >= 0 && m.procs[proc].lastEv >= 0 {
+		m.edges = append(m.edges, [2]int{m.procs[proc].lastEv, idx})
+	}
+	for _, e := range extra {
+		if e >= 0 && e != idx {
+			m.edges = append(m.edges, [2]int{e, idx})
+		}
+	}
+	if proc >= 0 {
+		m.procs[proc].lastEv = idx
+	}
+	return idx
+}
+
+// emitInternal emits a monitor-internal event and threads the
+// internal-total-order chain through it.
+func (m *machine) emitInternal(proc int, elem, class string, params core.Params, extra ...int) int {
+	if m.lastMonEv >= 0 {
+		extra = append(extra, m.lastMonEv)
+	}
+	idx := m.emit(proc, elem, class, params, extra...)
+	m.lastMonEv = idx
+	return idx
+}
+
+// transition is one schedulable step.
+type transition struct {
+	kind string // "step", "grant", "urgent"
+	proc int
+}
+
+// transitions partitions the schedulable steps for partial-order
+// reduction. A transition is "invisible" when it commutes with every
+// other enabled transition and leads to the same partial order regardless
+// of scheduling: process-local ops and entry calls (events at the
+// process's own element), the monitor holder's internal steps, and the
+// forced urgent resume. One invisible transition may be executed eagerly
+// without branching. The branching choices that remain are exactly the
+// semantically distinct ones: which queued caller enters the free
+// monitor, and the order of operations at shared external elements.
+//
+// With full=true every enabled transition is collected into branches
+// (eager stays nil) — the unreduced exploration used to validate the
+// reduction.
+func (m *machine) transitions(full bool) (eager *transition, branches []transition) {
+	for i := range m.procs {
+		p := &m.procs[i]
+		if p.status != statusReady {
+			continue
+		}
+		if m.holder == i {
+			if !full {
+				return &transition{kind: "step", proc: i}, nil
+			}
+			branches = append(branches, transition{kind: "step", proc: i})
+			continue
+		}
+		if p.bodyIdx < len(m.prog.Processes[i].Body) {
+			st := m.prog.Processes[i].Body[p.bodyIdx]
+			if op, ok := st.(Op); !full {
+				if ok && op.Element != "" {
+					branches = append(branches, transition{kind: "step", proc: i})
+					continue
+				}
+				return &transition{kind: "step", proc: i}, nil
+			}
+			branches = append(branches, transition{kind: "step", proc: i})
+		}
+	}
+	if m.holder == -1 {
+		if len(m.urgent) > 0 {
+			if !full {
+				return &transition{kind: "urgent", proc: m.urgent[len(m.urgent)-1]}, nil
+			}
+			branches = append(branches, transition{kind: "urgent", proc: m.urgent[len(m.urgent)-1]})
+		} else {
+			for _, p := range m.entryQ {
+				branches = append(branches, transition{kind: "grant", proc: p})
+			}
+		}
+	}
+	return nil, branches
+}
+
+func (m *machine) apply(t transition) error {
+	m.steps++
+	switch t.kind {
+	case "grant":
+		return m.applyGrant(t.proc)
+	case "urgent":
+		return m.applyUrgentResume()
+	default:
+		if m.holder == t.proc {
+			return m.stepInside(t.proc)
+		}
+		return m.stepOutside(t.proc)
+	}
+}
+
+func (m *machine) applyGrant(proc int) error {
+	for i, p := range m.entryQ {
+		if p == proc {
+			m.entryQ = append(m.entryQ[:i], m.entryQ[i+1:]...)
+			break
+		}
+	}
+	m.holder = proc
+	p := &m.procs[proc]
+	entry, ok := m.prog.Monitor.EntryNamed(p.entry)
+	if !ok {
+		return fmt.Errorf("monitor: unknown entry %q", p.entry)
+	}
+	procName := m.prog.Processes[proc].Name
+	m.emitInternal(proc, m.prog.Monitor.LockElement(), "Acq", core.Params{"proc": core.Str(procName)})
+	beginParams := core.Params{"proc": core.Str(procName)}
+	for name, v := range p.args {
+		beginParams[name] = core.Int(v)
+	}
+	m.emitInternal(proc, m.prog.Monitor.EntryElement(p.entry), "Begin", beginParams)
+	p.frames = []frame{{block: entry.Body}}
+	p.status = statusReady
+	return nil
+}
+
+func (m *machine) applyUrgentResume() error {
+	proc := m.urgent[len(m.urgent)-1]
+	m.urgent = m.urgent[:len(m.urgent)-1]
+	m.holder = proc
+	p := &m.procs[proc]
+	p.status = statusReady
+	m.emitInternal(proc, m.prog.Monitor.LockElement(), "Acq",
+		core.Params{"proc": core.Str(m.prog.Processes[proc].Name)})
+	return nil
+}
+
+// stepOutside executes the next process-body statement.
+func (m *machine) stepOutside(proc int) error {
+	p := &m.procs[proc]
+	st := m.prog.Processes[proc].Body[p.bodyIdx]
+	p.bodyIdx++
+	switch s := st.(type) {
+	case Call:
+		entry, ok := m.prog.Monitor.EntryNamed(s.Entry)
+		if !ok {
+			return fmt.Errorf("monitor: call to unknown entry %q", s.Entry)
+		}
+		if len(s.Args) != len(entry.Args) {
+			return fmt.Errorf("monitor: entry %s expects %d args, got %d", s.Entry, len(entry.Args), len(s.Args))
+		}
+		args := make(map[string]int64, len(s.Args))
+		for i, name := range entry.Args {
+			args[name] = s.Args[i]
+		}
+		p.entry = s.Entry
+		p.args = args
+		callParams := core.Params{"entry": core.Str(s.Entry)}
+		for name, v := range args {
+			callParams[name] = core.Int(v)
+		}
+		m.emit(proc, m.prog.Processes[proc].Name, "Call", callParams)
+		p.status = statusBlockedEntry
+		m.entryQ = append(m.entryQ, proc)
+	case Op:
+		params := make(core.Params, len(s.Params)+2)
+		for k, v := range s.Params {
+			params[k] = core.Int(v)
+		}
+		elem := m.prog.Processes[proc].Name
+		if s.Element != "" {
+			elem = s.Element
+			params["proc"] = core.Str(m.prog.Processes[proc].Name)
+			switch s.Class {
+			case "Assign":
+				m.ext[s.Element] = s.Params["newval"]
+			case "Getval":
+				params["oldval"] = core.Int(m.ext[s.Element])
+			}
+		}
+		m.emit(proc, elem, s.Class, params)
+	default:
+		return fmt.Errorf("monitor: process statement %T not supported", st)
+	}
+	return nil
+}
+
+// stepInside advances the monitor holder: first any pending resume
+// events, then statements until one event-producing action completes.
+func (m *machine) stepInside(proc int) error {
+	p := &m.procs[proc]
+	if p.resuming {
+		mon := m.prog.Monitor
+		procName := m.prog.Processes[proc].Name
+		rel := m.emitInternal(proc, mon.CondElement(p.resumeCond()), "Release",
+			core.Params{"proc": core.Str(procName)}, p.signalEv)
+		m.emitInternal(proc, mon.LockElement(), "Acq",
+			core.Params{"proc": core.Str(procName)}, rel)
+		p.resuming = false
+		p.signalEv = -1
+		return nil
+	}
+	env := &evalEnv{vars: m.vars, args: p.args, m: m}
+	for {
+		st, ok := m.nextStmt(proc)
+		if !ok {
+			return m.endEntry(proc, env)
+		}
+		switch s := st.(type) {
+		case Assign:
+			m.vars[s.Var] = s.E.eval(env)
+			m.emitInternal(proc, m.prog.Monitor.VarElement(s.Var), "Assign",
+				core.Params{
+					"newval": core.Int(m.vars[s.Var]),
+					"proc":   core.Str(m.prog.Processes[proc].Name),
+					"entry":  core.Str(p.entry),
+				})
+			return nil
+		case If:
+			branch := s.Else
+			if s.Cond.eval(env) != 0 {
+				branch = s.Then
+			}
+			if len(branch) > 0 {
+				p.frames = append(p.frames, frame{block: branch})
+			}
+		case While:
+			if s.Cond.eval(env) != 0 {
+				// Re-test after the body: rewind this statement.
+				top := &p.frames[len(p.frames)-1]
+				top.idx--
+				p.frames = append(p.frames, frame{block: s.Body})
+			}
+		case Wait:
+			mon := m.prog.Monitor
+			procName := core.Str(m.prog.Processes[proc].Name)
+			w := m.emitInternal(proc, mon.CondElement(s.Cond), "Wait", core.Params{"proc": procName})
+			m.emitInternal(proc, mon.LockElement(), "Rel", core.Params{"proc": procName}, w)
+			m.condQ[s.Cond] = append(m.condQ[s.Cond], proc)
+			p.status = statusWaiting
+			p.waitCond = s.Cond
+			m.holder = -1
+			return nil
+		case Signal:
+			mon := m.prog.Monitor
+			sig := m.emitInternal(proc, mon.CondElement(s.Cond), "Signal",
+				core.Params{"proc": core.Str(m.prog.Processes[proc].Name)})
+			if q := m.condQ[s.Cond]; len(q) > 0 {
+				waiter := q[0]
+				m.condQ[s.Cond] = q[1:]
+				m.urgent = append(m.urgent, proc)
+				p.status = statusUrgent
+				w := &m.procs[waiter]
+				w.status = statusReady
+				w.resuming = true
+				w.signalEv = sig
+				m.holder = waiter
+			}
+			return nil
+		default:
+			return fmt.Errorf("monitor: statement %T not supported", st)
+		}
+	}
+}
+
+// nextStmt pops the next statement from the holder's continuation.
+func (m *machine) nextStmt(proc int) (Stmt, bool) {
+	p := &m.procs[proc]
+	for len(p.frames) > 0 {
+		top := &p.frames[len(p.frames)-1]
+		if top.idx < len(top.block) {
+			st := top.block[top.idx]
+			top.idx++
+			return st, true
+		}
+		p.frames = p.frames[:len(p.frames)-1]
+	}
+	return nil, false
+}
+
+func (m *machine) endEntry(proc int, env *evalEnv) error {
+	p := &m.procs[proc]
+	mon := m.prog.Monitor
+	entry, _ := mon.EntryNamed(p.entry)
+	params := core.Params{"entry": core.Str(p.entry)}
+	if entry.Result != nil {
+		params["result"] = core.Int(entry.Result.eval(env))
+	}
+	procName := core.Str(m.prog.Processes[proc].Name)
+	endParams := core.Params{"proc": procName}
+	for name, v := range p.args {
+		endParams[name] = core.Int(v)
+	}
+	if r, ok := params["result"]; ok {
+		endParams["result"] = r
+	}
+	m.emitInternal(proc, mon.EntryElement(p.entry), "End", endParams)
+	rel := m.emitInternal(proc, mon.LockElement(), "Rel", core.Params{"proc": procName})
+	m.emit(proc, m.prog.Processes[proc].Name, "Return", params, rel)
+	m.holder = -1
+	p.frames = nil
+	p.args = nil
+	p.entry = ""
+	return nil
+}
+
+// finish builds the Run for a state with no transitions.
+func (m *machine) finish() (Run, error) {
+	deadlock := false
+	for i := range m.procs {
+		p := &m.procs[i]
+		done := p.status == statusReady && m.holder != i && p.bodyIdx >= len(m.prog.Processes[i].Body)
+		if !done {
+			deadlock = true
+		}
+	}
+	b := core.NewBuilder()
+	ids := make([]core.EventID, len(m.events))
+	for i, e := range m.events {
+		ids[i] = b.Event(e.elem, e.class, e.params)
+	}
+	for _, e := range m.edges {
+		b.Enable(ids[e[0]], ids[e[1]])
+	}
+	comp, err := b.Build()
+	if err != nil {
+		return Run{}, fmt.Errorf("monitor: generated computation invalid: %w", err)
+	}
+	finals := make(map[string]int64, len(m.vars))
+	for k, v := range m.vars {
+		finals[k] = v
+	}
+	return Run{Comp: comp, FinalVars: finals, Deadlock: deadlock}, nil
+}
+
+// canonicalKey identifies the run's partial order: events keyed by
+// (element, per-element occurrence index) with sorted edges, so different
+// interleavings of the same computation collapse.
+func (m *machine) canonicalKey() string {
+	perElem := make(map[string]int)
+	labels := make([]string, len(m.events))
+	for i, e := range m.events {
+		labels[i] = fmt.Sprintf("%s^%d:%s%s", e.elem, perElem[e.elem], e.class, e.params)
+		perElem[e.elem]++
+	}
+	var sb strings.Builder
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	for _, l := range sorted {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	edgeLabels := make([]string, len(m.edges))
+	for i, e := range m.edges {
+		edgeLabels[i] = labels[e[0]] + ">" + labels[e[1]]
+	}
+	sort.Strings(edgeLabels)
+	for _, l := range edgeLabels {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

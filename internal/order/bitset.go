@@ -1,0 +1,202 @@
+// Package order provides partial-order machinery used throughout the GEM
+// toolkit: compact bitsets over event indices, DAG reachability (transitive
+// closure), topological sorting, and enumeration of linear extensions and
+// antichains. These are the computational substrate for GEM's temporal
+// order, histories, and valid history sequences.
+package order
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity set of small non-negative integers. The zero
+// value is an empty set of capacity zero; use NewBitset to size it.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty set able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Cap reports the capacity the set was created with.
+func (b Bitset) Cap() int { return b.n }
+
+// Set adds i to the set. It panics if i is out of range, since that always
+// indicates a logic error in the caller.
+func (b Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("order: Bitset.Set(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear removes i from the set.
+func (b Bitset) Clear(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("order: Bitset.Clear(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports whether i is in the set. Out-of-range values are never
+// members.
+func (b Bitset) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of members.
+func (b Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether the set has no members.
+func (b Bitset) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (b Bitset) Clone() Bitset {
+	out := Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// OrWith adds every member of other to b. The sets must have equal capacity.
+func (b Bitset) OrWith(other Bitset) {
+	b.mustMatch(other)
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// AndWith removes from b every value not in other.
+func (b Bitset) AndWith(other Bitset) {
+	b.mustMatch(other)
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// AndNotWith removes from b every member of other.
+func (b Bitset) AndNotWith(other Bitset) {
+	b.mustMatch(other)
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether the two sets have the same members.
+func (b Bitset) Equal(other Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of b is a member of other.
+func (b Bitset) SubsetOf(other Bitset) bool {
+	b.mustMatch(other)
+	for i := range b.words {
+		if b.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and other share at least one member.
+func (b Bitset) Intersects(other Bitset) bool {
+	b.mustMatch(other)
+	for i := range b.words {
+		if b.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every member in increasing order. If fn returns
+// false, iteration stops early.
+func (b Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in increasing order.
+func (b Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Key returns a string usable as a map key identifying the set contents.
+func (b Bitset) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(b.words) * 8)
+	for _, w := range b.words {
+		for shift := 0; shift < wordBits; shift += 8 {
+			sb.WriteByte(byte(w >> uint(shift)))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the set as {a, b, c}.
+func (b Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func (b Bitset) mustMatch(other Bitset) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("order: bitset capacity mismatch %d != %d", b.n, other.n))
+	}
+}

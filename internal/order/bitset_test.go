@@ -1,0 +1,228 @@
+package order
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if !b.Empty() {
+		t.Fatal("new bitset should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Errorf("Has(%d) = false after Set", i)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("Has(64) = true after Clear")
+	}
+	if got := b.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	want := []int{0, 1, 63, 65, 128, 129}
+	if got := b.Members(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(10)
+	if b.Has(-1) || b.Has(10) || b.Has(100) {
+		t.Error("out-of-range Has should be false")
+	}
+	assertPanics(t, func() { b.Set(10) })
+	assertPanics(t, func() { b.Set(-1) })
+	assertPanics(t, func() { b.Clear(10) })
+}
+
+func TestBitsetZeroCapacity(t *testing.T) {
+	b := NewBitset(0)
+	if !b.Empty() || b.Count() != 0 {
+		t.Error("zero-capacity bitset should be empty")
+	}
+	neg := NewBitset(-5)
+	if neg.Cap() != 0 {
+		t.Errorf("negative capacity clamped: Cap = %d, want 0", neg.Cap())
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	for _, i := range []int{1, 5, 70} {
+		a.Set(i)
+	}
+	for _, i := range []int{5, 70, 99} {
+		b.Set(i)
+	}
+
+	or := a.Clone()
+	or.OrWith(b)
+	if got, want := or.Members(), []int{1, 5, 70, 99}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Or = %v, want %v", got, want)
+	}
+
+	and := a.Clone()
+	and.AndWith(b)
+	if got, want := and.Members(), []int{5, 70}; !reflect.DeepEqual(got, want) {
+		t.Errorf("And = %v, want %v", got, want)
+	}
+
+	diff := a.Clone()
+	diff.AndNotWith(b)
+	if got, want := diff.Members(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("AndNot = %v, want %v", got, want)
+	}
+
+	if !and.SubsetOf(a) || !and.SubsetOf(b) {
+		t.Error("intersection should be subset of both operands")
+	}
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	empty := NewBitset(100)
+	if empty.Intersects(a) {
+		t.Error("empty set intersects nothing")
+	}
+}
+
+func TestBitsetEqualAndKey(t *testing.T) {
+	a := NewBitset(70)
+	b := NewBitset(70)
+	a.Set(3)
+	b.Set(3)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("equal sets must have equal keys")
+	}
+	b.Set(69)
+	if a.Equal(b) || a.Key() == b.Key() {
+		t.Error("unequal sets must differ")
+	}
+	c := NewBitset(71)
+	c.Set(3)
+	if a.Equal(c) {
+		t.Error("different capacities are never Equal")
+	}
+}
+
+func TestBitsetCloneIndependence(t *testing.T) {
+	a := NewBitset(10)
+	a.Set(2)
+	b := a.Clone()
+	b.Set(3)
+	if a.Has(3) {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestBitsetForEachEarlyStop(t *testing.T) {
+	b := NewBitset(100)
+	for i := 0; i < 100; i += 2 {
+		b.Set(i)
+	}
+	var seen []int
+	b.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if got, want := seen, []int{0, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("early stop saw %v, want %v", got, want)
+	}
+}
+
+func TestBitsetString(t *testing.T) {
+	b := NewBitset(10)
+	if got := b.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	b.Set(1)
+	b.Set(7)
+	if got := b.String(); got != "{1, 7}" {
+		t.Errorf("String = %q, want {1, 7}", got)
+	}
+}
+
+func TestBitsetCapacityMismatchPanics(t *testing.T) {
+	a := NewBitset(10)
+	b := NewBitset(11)
+	assertPanics(t, func() { a.OrWith(b) })
+	assertPanics(t, func() { a.AndWith(b) })
+	assertPanics(t, func() { a.AndNotWith(b) })
+	assertPanics(t, func() { a.SubsetOf(b) })
+	assertPanics(t, func() { a.Intersects(b) })
+}
+
+// Property: membership after a random sequence of Set/Clear matches a
+// reference map implementation.
+func TestBitsetQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const n = 200
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBitset(n)
+		ref := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op) % n
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				ref[i] = true
+			} else {
+				b.Clear(i)
+				delete(ref, i)
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| - |A∩B|.
+func TestBitsetQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 300
+		a := NewBitset(n)
+		b := NewBitset(n)
+		for _, x := range xs {
+			a.Set(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Set(int(y) % n)
+		}
+		union := a.Clone()
+		union.OrWith(b)
+		inter := a.Clone()
+		inter.AndWith(b)
+		return union.Count() == a.Count()+b.Count()-inter.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,87 @@
+package order
+
+// Ideals enumerates every order ideal (downward-closed subset, including
+// the empty set) of the strict partial order whose reachability sets are
+// reach. In GEM terms these are exactly the histories of a computation.
+// fn receives each ideal as a Bitset that is reused between calls; clone it
+// if retained. Enumeration stops early if fn returns false or after limit
+// ideals when limit > 0. Returns the number of ideals produced.
+//
+// The enumeration walks the lattice of ideals by repeatedly adding minimal
+// elements of the complement, deduplicating via a visited set, so each
+// ideal is produced exactly once.
+func Ideals(reach []Bitset, limit int, fn func(ideal Bitset) bool) int {
+	n := len(reach)
+	preds := Invert(reach)
+	seen := make(map[string]bool)
+	count := 0
+	stop := false
+
+	var rec func(cur Bitset)
+	rec = func(cur Bitset) {
+		if stop {
+			return
+		}
+		key := cur.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		count++
+		if !fn(cur) || (limit > 0 && count >= limit) {
+			stop = true
+			return
+		}
+		for v := 0; v < n; v++ {
+			if cur.Has(v) || !preds[v].SubsetOf(cur) {
+				continue
+			}
+			next := cur.Clone()
+			next.Set(v)
+			rec(next)
+			if stop {
+				return
+			}
+		}
+	}
+	rec(NewBitset(n))
+	return count
+}
+
+// MinimalOutside returns the elements not in cur all of whose predecessors
+// are in cur — i.e. the events that could individually extend the ideal.
+func MinimalOutside(reach []Bitset, preds []Bitset, cur Bitset) []int {
+	n := len(reach)
+	var out []int
+	for v := 0; v < n; v++ {
+		if !cur.Has(v) && preds[v].SubsetOf(cur) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DownClosure returns the downward closure of the given set under the
+// partial order (the set plus all predecessors of its members).
+func DownClosure(preds []Bitset, set Bitset) Bitset {
+	out := set.Clone()
+	set.ForEach(func(v int) bool {
+		out.OrWith(preds[v])
+		return true
+	})
+	return out
+}
+
+// IsIdeal reports whether the set is downward closed under the partial
+// order described by preds.
+func IsIdeal(preds []Bitset, set Bitset) bool {
+	ok := true
+	set.ForEach(func(v int) bool {
+		if !preds[v].SubsetOf(set) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,236 @@
+package boundedbuf
+
+import (
+	"fmt"
+
+	"gem/internal/ada"
+	"gem/internal/csp"
+	"gem/internal/monitor"
+)
+
+// MonitorName / BufferTask name the guarding component in each solution.
+const (
+	MonitorName = "buf"
+	BufferTask  = "B"
+)
+
+// NewMonitorProgram builds the classic monitor bounded buffer: a circular
+// store of Capacity cells inside the monitor, deposit waiting on notfull,
+// fetch on notempty, values returned through the entry result.
+func NewMonitorProgram(w Workload) *monitor.Program {
+	n := w.Capacity
+	vars := []string{"count", "wpos", "rpos", "tmp"}
+	for k := 0; k < n; k++ {
+		vars = append(vars, fmt.Sprintf("s%d", k))
+	}
+	// IF-chains selecting the cell indexed by wpos / rpos.
+	storeChain := make([]monitor.Stmt, 0, n)
+	loadChain := make([]monitor.Stmt, 0, n)
+	for k := 0; k < n; k++ {
+		cell := fmt.Sprintf("s%d", k)
+		storeChain = append(storeChain, monitor.If{
+			Cond: monitor.Bin{Op: monitor.OpEq, L: monitor.VarRef("wpos"), R: monitor.IntLit(int64(k))},
+			Then: []monitor.Stmt{monitor.Assign{Var: cell, E: monitor.VarRef("v")}},
+		})
+		loadChain = append(loadChain, monitor.If{
+			Cond: monitor.Bin{Op: monitor.OpEq, L: monitor.VarRef("rpos"), R: monitor.IntLit(int64(k))},
+			Then: []monitor.Stmt{monitor.Assign{Var: "tmp", E: monitor.VarRef(cell)}},
+		})
+	}
+	bump := func(pos string) []monitor.Stmt {
+		return []monitor.Stmt{
+			monitor.Assign{Var: pos, E: monitor.Bin{Op: monitor.OpAdd, L: monitor.VarRef(pos), R: monitor.IntLit(1)}},
+			monitor.If{
+				Cond: monitor.Bin{Op: monitor.OpEq, L: monitor.VarRef(pos), R: monitor.IntLit(int64(n))},
+				Then: []monitor.Stmt{monitor.Assign{Var: pos, E: monitor.IntLit(0)}},
+			},
+		}
+	}
+	depositBody := []monitor.Stmt{
+		monitor.If{
+			Cond: monitor.Bin{Op: monitor.OpEq, L: monitor.VarRef("count"), R: monitor.IntLit(int64(n))},
+			Then: []monitor.Stmt{monitor.Wait{Cond: "notfull"}},
+		},
+	}
+	depositBody = append(depositBody, storeChain...)
+	depositBody = append(depositBody, bump("wpos")...)
+	depositBody = append(depositBody,
+		monitor.Assign{Var: "count", E: monitor.Bin{Op: monitor.OpAdd, L: monitor.VarRef("count"), R: monitor.IntLit(1)}},
+		monitor.Signal{Cond: "notempty"},
+	)
+	fetchBody := []monitor.Stmt{
+		monitor.If{
+			Cond: monitor.Bin{Op: monitor.OpEq, L: monitor.VarRef("count"), R: monitor.IntLit(0)},
+			Then: []monitor.Stmt{monitor.Wait{Cond: "notempty"}},
+		},
+	}
+	fetchBody = append(fetchBody, loadChain...)
+	fetchBody = append(fetchBody, bump("rpos")...)
+	fetchBody = append(fetchBody,
+		monitor.Assign{Var: "count", E: monitor.Bin{Op: monitor.OpSub, L: monitor.VarRef("count"), R: monitor.IntLit(1)}},
+		monitor.Signal{Cond: "notfull"},
+	)
+	mon := &monitor.Monitor{
+		Name:  MonitorName,
+		Vars:  vars,
+		Conds: []string{"notfull", "notempty"},
+		Entries: []monitor.Entry{
+			{Name: "deposit", Args: []string{"v"}, Body: depositBody},
+			{Name: "fetch", Body: fetchBody, Result: monitor.VarRef("tmp")},
+		},
+	}
+	prog := &monitor.Program{Monitor: mon}
+	for i := 1; i <= w.Producers; i++ {
+		var body []monitor.ProcStmt
+		for k := 1; k <= w.ItemsPerProducer; k++ {
+			body = append(body, monitor.Call{Entry: "deposit", Args: []int64{ItemValue(i, k)}})
+		}
+		prog.Processes = append(prog.Processes, monitor.Process{Name: ProducerName(i), Body: body})
+	}
+	for j := 1; j <= w.Consumers; j++ {
+		var body []monitor.ProcStmt
+		for k := 0; k < w.ItemsPerConsumer(); k++ {
+			body = append(body, monitor.Call{Entry: "fetch"})
+		}
+		prog.Processes = append(prog.Processes, monitor.Process{Name: ConsumerName(j), Body: body})
+	}
+	return prog
+}
+
+// NewCSPProgram builds the CSP bounded buffer: a buffer process holding
+// Capacity cells, accepting a producer's send when not full and offering
+// the head cell to a consumer when not empty (one guarded branch per
+// cell index and partner).
+func NewCSPProgram(w Workload) *csp.Program {
+	n := w.Capacity
+	prog := &csp.Program{}
+	for i := 1; i <= w.Producers; i++ {
+		var body []csp.Stmt
+		for k := 1; k <= w.ItemsPerProducer; k++ {
+			body = append(body, csp.Send{To: BufferTask, E: csp.IntLit(ItemValue(i, k))})
+		}
+		prog.Processes = append(prog.Processes, csp.Process{Name: ProducerName(i), Body: body})
+	}
+	for j := 1; j <= w.Consumers; j++ {
+		var body []csp.Stmt
+		for k := 0; k < w.ItemsPerConsumer(); k++ {
+			body = append(body, csp.Recv{From: BufferTask, Var: "x"})
+		}
+		prog.Processes = append(prog.Processes, csp.Process{
+			Name: ConsumerName(j), Vars: []string{"x"}, Body: body,
+		})
+	}
+	vars := []string{"count", "wpos", "rpos"}
+	for k := 0; k < n; k++ {
+		vars = append(vars, fmt.Sprintf("s%d", k))
+	}
+	var branches []csp.Branch
+	for k := 0; k < n; k++ {
+		cell := fmt.Sprintf("s%d", k)
+		next := int64((k + 1) % n)
+		for i := 1; i <= w.Producers; i++ {
+			branches = append(branches, csp.Branch{
+				// not full and writing into cell k
+				Guard: guardAnd(
+					csp.Bin{Op: csp.OpLt, L: csp.VarRef("count"), R: csp.IntLit(int64(n))},
+					csp.Bin{Op: csp.OpEq, L: csp.VarRef("wpos"), R: csp.IntLit(int64(k))},
+				),
+				Comm: csp.Recv{From: ProducerName(i), Var: cell},
+				Body: []csp.Stmt{
+					csp.Assign{Var: "wpos", E: csp.IntLit(next)},
+					csp.Assign{Var: "count", E: csp.Bin{Op: csp.OpAdd, L: csp.VarRef("count"), R: csp.IntLit(1)}},
+				},
+			})
+		}
+		for j := 1; j <= w.Consumers; j++ {
+			branches = append(branches, csp.Branch{
+				Guard: guardAnd(
+					csp.Bin{Op: csp.OpGt, L: csp.VarRef("count"), R: csp.IntLit(0)},
+					csp.Bin{Op: csp.OpEq, L: csp.VarRef("rpos"), R: csp.IntLit(int64(k))},
+				),
+				Comm: csp.Send{To: ConsumerName(j), E: csp.VarRef(cell)},
+				Body: []csp.Stmt{
+					csp.Assign{Var: "rpos", E: csp.IntLit(next)},
+					csp.Assign{Var: "count", E: csp.Bin{Op: csp.OpSub, L: csp.VarRef("count"), R: csp.IntLit(1)}},
+				},
+			})
+		}
+	}
+	prog.Processes = append(prog.Processes, csp.Process{
+		Name: BufferTask,
+		Vars: vars,
+		Body: []csp.Stmt{csp.Repeat{N: 2 * w.TotalItems(), Body: []csp.Stmt{csp.Alt{Branches: branches}}}},
+	})
+	return prog
+}
+
+// guardAnd conjoins two 0/1 guards (both non-negative: product via
+// addition-equals-2 idiom avoided; use a*b-free encoding: g1+g2=2).
+func guardAnd(a, b csp.Expr) csp.Expr {
+	return csp.Bin{Op: csp.OpEq, L: csp.Bin{Op: csp.OpAdd, L: a, R: b}, R: csp.IntLit(2)}
+}
+
+// NewAdaProgram builds the ADA bounded buffer: a buffer task with Put/Get
+// entries served by a guarded selective wait over cell indices.
+func NewAdaProgram(w Workload) *ada.Program {
+	n := w.Capacity
+	prog := &ada.Program{}
+	for i := 1; i <= w.Producers; i++ {
+		var body []ada.Stmt
+		for k := 1; k <= w.ItemsPerProducer; k++ {
+			body = append(body, ada.EntryCall{Task: BufferTask, Entry: "Put", Arg: ada.IntLit(ItemValue(i, k))})
+		}
+		prog.Tasks = append(prog.Tasks, ada.Task{Name: ProducerName(i), Body: body})
+	}
+	for j := 1; j <= w.Consumers; j++ {
+		var body []ada.Stmt
+		for k := 0; k < w.ItemsPerConsumer(); k++ {
+			body = append(body, ada.EntryCall{Task: BufferTask, Entry: "Get"})
+		}
+		prog.Tasks = append(prog.Tasks, ada.Task{Name: ConsumerName(j), Body: body})
+	}
+	vars := []string{"count", "wpos", "rpos"}
+	for k := 0; k < n; k++ {
+		vars = append(vars, fmt.Sprintf("s%d", k))
+	}
+	var alts []ada.SelectAlt
+	for k := 0; k < n; k++ {
+		cell := fmt.Sprintf("s%d", k)
+		next := int64((k + 1) % n)
+		alts = append(alts,
+			ada.SelectAlt{
+				Guard: adaGuardAnd(
+					ada.Bin{Op: ada.OpLt, L: ada.VarRef("count"), R: ada.IntLit(int64(n))},
+					ada.Bin{Op: ada.OpEq, L: ada.VarRef("wpos"), R: ada.IntLit(int64(k))},
+				),
+				Accept: ada.Accept{Entry: "Put", Param: "v", Body: []ada.Stmt{
+					ada.Assign{Var: cell, E: ada.VarRef("v")},
+					ada.Assign{Var: "wpos", E: ada.IntLit(next)},
+					ada.Assign{Var: "count", E: ada.Bin{Op: ada.OpAdd, L: ada.VarRef("count"), R: ada.IntLit(1)}},
+				}},
+			},
+			ada.SelectAlt{
+				Guard: adaGuardAnd(
+					ada.Bin{Op: ada.OpGt, L: ada.VarRef("count"), R: ada.IntLit(0)},
+					ada.Bin{Op: ada.OpEq, L: ada.VarRef("rpos"), R: ada.IntLit(int64(k))},
+				),
+				Accept: ada.Accept{Entry: "Get", Body: []ada.Stmt{
+					ada.Reply{E: ada.VarRef(cell)},
+					ada.Assign{Var: "rpos", E: ada.IntLit(next)},
+					ada.Assign{Var: "count", E: ada.Bin{Op: ada.OpSub, L: ada.VarRef("count"), R: ada.IntLit(1)}},
+				}},
+			},
+		)
+	}
+	prog.Tasks = append(prog.Tasks, ada.Task{
+		Name:    BufferTask,
+		Entries: []string{"Put", "Get"},
+		Vars:    vars,
+		Body:    []ada.Stmt{ada.Repeat{N: 2 * w.TotalItems(), Body: []ada.Stmt{ada.Select{Alts: alts}}}},
+	})
+	return prog
+}
+
+func adaGuardAnd(a, b ada.Expr) ada.Expr {
+	return ada.Bin{Op: ada.OpEq, L: ada.Bin{Op: ada.OpAdd, L: a, R: b}, R: ada.IntLit(2)}
+}

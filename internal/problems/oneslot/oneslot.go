@@ -1,0 +1,105 @@
+// Package oneslot implements the paper's One-Slot Buffer problem: a
+// buffer holding at most one item, deposits and fetches strictly
+// alternating, each fetch yielding the item of the immediately preceding
+// deposit. It is the capacity-1 case of the bounded buffer; this package
+// states the problem the way the paper's catalogue does — as an
+// alternation discipline — and proves the two formulations equivalent on
+// its computations, reusing the bounded-buffer solutions and
+// correspondences for the sat checks.
+package oneslot
+
+import (
+	"gem/internal/ada"
+	"gem/internal/core"
+	"gem/internal/csp"
+	"gem/internal/logic"
+	"gem/internal/monitor"
+	"gem/internal/problems/boundedbuf"
+	"gem/internal/spec"
+	"gem/internal/verify"
+)
+
+// Workload configures a one-slot scenario.
+type Workload struct {
+	Producers        int
+	Consumers        int
+	ItemsPerProducer int
+}
+
+func (w Workload) buffered() boundedbuf.Workload {
+	return boundedbuf.Workload{
+		Producers:        w.Producers,
+		Consumers:        w.Consumers,
+		ItemsPerProducer: w.ItemsPerProducer,
+		Capacity:         1,
+	}
+}
+
+// ProblemSpec builds the One-Slot Buffer specification: the bounded
+// buffer spec at capacity 1 with the explicit alternation restriction
+// added — between any two deposits there is a fetch, and every fetch is
+// preceded by more deposits than fetches (which at capacity one forces
+// strict D F D F … alternation in the element order).
+func ProblemSpec(w Workload) (*spec.Spec, error) {
+	s, err := boundedbuf.ProblemSpec(w.buffered())
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "OneSlotBuffer"
+	s.AddRestriction("alternation", Alternation())
+	return s, nil
+}
+
+// Alternation builds the explicit alternation restriction over the
+// buffer element: any two distinct deposits have a fetch between them in
+// the element order, and any two distinct fetches a deposit.
+func Alternation() logic.Formula {
+	dep := core.Ref(boundedbuf.BufferElement, "Deposit")
+	fet := core.Ref(boundedbuf.BufferElement, "Fetch")
+	between := func(outer, inner core.ClassRef) logic.Formula {
+		return logic.ForAll{Var: "_a", Ref: outer,
+			Body: logic.ForAll{Var: "_b", Ref: outer,
+				Body: logic.Implies{
+					If: logic.ElemOrdered{X: "_a", Y: "_b"},
+					Then: logic.Exists{Var: "_m", Ref: inner,
+						Body: logic.And{
+							logic.ElemOrdered{X: "_a", Y: "_m"},
+							logic.ElemOrdered{X: "_m", Y: "_b"},
+						},
+					},
+				},
+			},
+		}
+	}
+	return logic.And{between(dep, fet), between(fet, dep)}
+}
+
+// NewMonitorProgram builds the monitor one-slot buffer program.
+func NewMonitorProgram(w Workload) *monitor.Program {
+	return boundedbuf.NewMonitorProgram(w.buffered())
+}
+
+// NewCSPProgram builds the CSP one-slot buffer program.
+func NewCSPProgram(w Workload) *csp.Program {
+	return boundedbuf.NewCSPProgram(w.buffered())
+}
+
+// NewAdaProgram builds the ADA one-slot buffer program.
+func NewAdaProgram(w Workload) *ada.Program {
+	return boundedbuf.NewAdaProgram(w.buffered())
+}
+
+// MonitorCorrespondence maps the monitor solution to the problem.
+func MonitorCorrespondence() verify.Correspondence {
+	return boundedbuf.MonitorCorrespondence(1)
+}
+
+// CSPCorrespondence maps the CSP solution to the problem.
+func CSPCorrespondence(w Workload) verify.Correspondence {
+	return boundedbuf.CSPCorrespondence(w.buffered())
+}
+
+// AdaCorrespondence maps the ADA solution to the problem.
+func AdaCorrespondence() verify.Correspondence {
+	return boundedbuf.AdaCorrespondence()
+}

@@ -1,0 +1,267 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"gem/internal/core"
+	"gem/internal/logic"
+	"gem/internal/thread"
+)
+
+func sampleSpec(t *testing.T) *Spec {
+	t.Helper()
+	s := New("sample")
+	varDecl, err := VariableType().Instantiate("Var")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddElement(varDecl)
+	s.AddElement(&ElementDecl{
+		Name: "control",
+		Events: []EventClassDecl{
+			{Name: "ReqRead"},
+			{Name: "StartRead"},
+		},
+	})
+	s.AddGroup(&GroupDecl{Name: "db", Members: []string{"Var", "control"}})
+	s.AddRestriction("global-true", logic.TrueF{})
+	s.AddThread(thread.Type{Name: "pi", Path: []core.ClassRef{
+		core.Ref("control", "ReqRead"), core.Ref("control", "StartRead"),
+	}})
+	return s
+}
+
+func TestSpecAccessors(t *testing.T) {
+	s := sampleSpec(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, ok := s.Element("Var"); !ok {
+		t.Error("Var should be declared")
+	}
+	if _, ok := s.Element("nope"); ok {
+		t.Error("nope should not be declared")
+	}
+	if _, ok := s.Group("db"); !ok {
+		t.Error("db group should be declared")
+	}
+	if got := s.ElementNames(); len(got) != 2 || got[0] != "Var" {
+		t.Errorf("ElementNames = %v", got)
+	}
+	if got := s.GroupNames(); len(got) != 1 || got[0] != "db" {
+		t.Errorf("GroupNames = %v", got)
+	}
+	if got := s.Threads(); len(got) != 1 || got[0].Name != "pi" {
+		t.Errorf("Threads = %v", got)
+	}
+	d, _ := s.Element("Var")
+	if _, ok := d.EventDecl("Assign"); !ok {
+		t.Error("Assign should be declared at Var")
+	}
+	if _, ok := d.EventDecl("Nope"); ok {
+		t.Error("Nope should not be declared")
+	}
+	ec, _ := d.EventDecl("Assign")
+	if !ec.HasParam("newval") || ec.HasParam("zz") {
+		t.Error("HasParam wrong")
+	}
+}
+
+func TestSpecRestrictionsCollection(t *testing.T) {
+	s := sampleSpec(t)
+	rs := s.Restrictions()
+	// global-true + Var.reads-last-assign.
+	if len(rs) != 2 {
+		t.Fatalf("Restrictions = %d entries, want 2", len(rs))
+	}
+	owners := map[string]bool{}
+	for _, r := range rs {
+		owners[r.Owner] = true
+	}
+	if !owners["sample"] || !owners["Var"] {
+		t.Errorf("owners = %v", owners)
+	}
+}
+
+func TestSpecUniverse(t *testing.T) {
+	s := sampleSpec(t)
+	u, err := s.Universe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.HasElement("Var") || !u.HasGroup("db") {
+		t.Error("universe missing declarations")
+	}
+	if !u.Access("Var", "control") {
+		t.Error("group siblings must access each other")
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	t.Run("duplicate event class", func(t *testing.T) {
+		s := New("bad")
+		s.AddElement(&ElementDecl{Name: "E", Events: []EventClassDecl{{Name: "A"}, {Name: "A"}}})
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Errorf("want duplicate-class error, got %v", err)
+		}
+	})
+	t.Run("unknown group member", func(t *testing.T) {
+		s := New("bad")
+		s.AddGroup(&GroupDecl{Name: "G", Members: []string{"ghost"}})
+		if err := s.Validate(); err == nil {
+			t.Error("want unknown-member error")
+		}
+	})
+	t.Run("thread references unknown element", func(t *testing.T) {
+		s := New("bad")
+		s.AddThread(thread.Type{Name: "pi", Path: []core.ClassRef{core.Ref("ghost", "X")}})
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown element") {
+			t.Errorf("want unknown-element error, got %v", err)
+		}
+	})
+	t.Run("thread references unknown class", func(t *testing.T) {
+		s := New("bad")
+		s.AddElement(&ElementDecl{Name: "E", Events: []EventClassDecl{{Name: "A"}}})
+		s.AddThread(thread.Type{Name: "pi", Path: []core.ClassRef{core.Ref("E", "Z")}})
+		if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "unknown class") {
+			t.Errorf("want unknown-class error, got %v", err)
+		}
+	})
+	t.Run("unqualified thread refs allowed", func(t *testing.T) {
+		s := New("ok")
+		s.AddThread(thread.Type{Name: "pi", Path: []core.ClassRef{core.Ref("", "Read")}})
+		if err := s.Validate(); err != nil {
+			t.Errorf("unqualified refs should validate: %v", err)
+		}
+	})
+}
+
+func TestVariableTypeInstantiation(t *testing.T) {
+	d, err := VariableType().Instantiate("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Counter" || d.TypeName != "Variable" {
+		t.Errorf("decl = %+v", d)
+	}
+	if len(d.Events) != 2 || len(d.Restrictions) != 1 {
+		t.Errorf("events=%d restrictions=%d", len(d.Events), len(d.Restrictions))
+	}
+	if d.Restrictions[0].Name != "Counter.reads-last-assign" {
+		t.Errorf("restriction name = %s", d.Restrictions[0].Name)
+	}
+
+	// The restriction must actually reference the instance's element.
+	b := core.NewBuilder()
+	b.Event("Counter", "Assign", core.Params{"newval": core.Int(5)})
+	b.Event("Counter", "Getval", core.Params{"oldval": core.Int(9)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx := logic.Holds(d.Restrictions[0].F, c, logic.CheckOptions{}); cx == nil {
+		t.Error("stale read at the instance element must be refuted")
+	}
+}
+
+func TestTypedVariableRefinement(t *testing.T) {
+	tv := TypedVariableType()
+	d, err := tv.Instantiate("Var", "INTEGER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events[0].Params[0].Type != "INTEGER" {
+		t.Errorf("parameter type not substituted: %+v", d.Events[0].Params)
+	}
+	if _, err := tv.Instantiate("Var"); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+func TestElementTypeRefine(t *testing.T) {
+	base := VariableType()
+	refined := base.Refine("LoggedVariable",
+		[]EventClassDecl{{Name: "Log"}},
+		func(name string, _ map[string]string) []Restriction {
+			return []Restriction{{Name: name + ".extra", F: logic.TrueF{}}}
+		})
+	d, err := refined.Instantiate("LV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 3 {
+		t.Errorf("refined events = %d, want 3", len(d.Events))
+	}
+	if len(d.Restrictions) != 2 {
+		t.Errorf("refined restrictions = %d, want 2 (base + extra)", len(d.Restrictions))
+	}
+	if d.TypeName != "LoggedVariable" {
+		t.Errorf("TypeName = %s", d.TypeName)
+	}
+}
+
+func TestGroupTypeInstantiate(t *testing.T) {
+	gt := GroupType{
+		Name:    "Monitor",
+		Members: []string{"lock", "entry"},
+		Ports:   []PortTemplate{{Element: "lock", Class: "Req"}},
+		Restrictions: func(name string, _ map[string]string) []Restriction {
+			return []Restriction{{Name: name + ".r", F: logic.TrueF{}}}
+		},
+	}
+	inst, err := gt.Instantiate("rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Decl.Name != "rw" || inst.Decl.TypeName != "Monitor" {
+		t.Errorf("group decl = %+v", inst.Decl)
+	}
+	if got := inst.MemberNames["lock"]; got != "rw.lock" {
+		t.Errorf("member name = %s, want rw.lock", got)
+	}
+	if len(inst.Decl.Ports) != 1 || inst.Decl.Ports[0].Element != "rw.lock" {
+		t.Errorf("ports = %v", inst.Decl.Ports)
+	}
+	if len(inst.Decl.Restrictions) != 1 {
+		t.Errorf("restrictions = %d", len(inst.Decl.Restrictions))
+	}
+}
+
+func TestGroupTypePortMustReferenceMember(t *testing.T) {
+	gt := GroupType{
+		Name:    "Bad",
+		Members: []string{"a"},
+		Ports:   []PortTemplate{{Element: "ghost", Class: "X"}},
+	}
+	if _, err := gt.Instantiate("g"); err == nil {
+		t.Error("port referencing a non-member must fail")
+	}
+}
+
+func TestGroupTypeCustomMemberName(t *testing.T) {
+	gt := GroupType{
+		Name:       "Flat",
+		Members:    []string{"shared"},
+		MemberName: func(_, member string) string { return member },
+	}
+	inst, err := gt.Instantiate("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Decl.Members[0] != "shared" {
+		t.Errorf("custom member naming ignored: %v", inst.Decl.Members)
+	}
+}
+
+func TestGetvalNeedsAssign(t *testing.T) {
+	b := core.NewBuilder()
+	b.Event("V", "Getval", core.Params{"oldval": core.Int(0)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx := logic.Holds(GetvalNeedsAssign("V"), c, logic.CheckOptions{}); cx == nil {
+		t.Error("Getval without a prior Assign must be refuted")
+	}
+}

@@ -1,0 +1,160 @@
+package spec
+
+import "fmt"
+
+// This file implements the GEM type-description facility (Section 6 of the
+// paper) at the IR level. The paper gives types pure text-substitution
+// semantics; the gemlang parser implements exactly that for the concrete
+// syntax. Programmatic specifications use the equivalent mechanism below:
+// a type holds a template and instantiation stamps out a declaration,
+// applying the instance name and arguments through a restriction factory.
+
+// RestrictionFactory builds the restrictions of a type instance. It
+// receives the instance's element (or group) name and the type arguments,
+// so formulas can reference the instance's own event classes.
+type RestrictionFactory func(instanceName string, args map[string]string) []Restriction
+
+// ElementType is a reusable element description.
+type ElementType struct {
+	Name         string
+	Params       []string // formal parameter names, e.g. "t" in TypedVariable(t:TYPE)
+	Events       []EventClassDecl
+	Restrictions RestrictionFactory
+}
+
+// Instantiate stamps out an element declaration named instanceName. Args
+// are matched positionally against the type's formal parameters; a
+// mismatch is an error.
+func (t ElementType) Instantiate(instanceName string, args ...string) (*ElementDecl, error) {
+	bound, err := bindArgs(t.Name, t.Params, args)
+	if err != nil {
+		return nil, err
+	}
+	d := &ElementDecl{
+		Name:     instanceName,
+		TypeName: t.Name,
+		Events:   cloneEvents(t.Events, bound),
+	}
+	if t.Restrictions != nil {
+		d.Restrictions = t.Restrictions(instanceName, bound)
+	}
+	return d, nil
+}
+
+// Refine produces a new element type derived from t: extra event classes
+// are appended and extra restrictions are conjoined — the paper's
+// "/ADD …" refinement. The refined type keeps t's formal parameters.
+func (t ElementType) Refine(name string, extraEvents []EventClassDecl, extra RestrictionFactory) ElementType {
+	base := t.Restrictions
+	return ElementType{
+		Name:   name,
+		Params: t.Params,
+		Events: append(append([]EventClassDecl(nil), t.Events...), extraEvents...),
+		Restrictions: func(instanceName string, args map[string]string) []Restriction {
+			var out []Restriction
+			if base != nil {
+				out = append(out, base(instanceName, args)...)
+			}
+			if extra != nil {
+				out = append(out, extra(instanceName, args)...)
+			}
+			return out
+		},
+	}
+}
+
+// GroupType is a reusable group description. Members is a template of
+// member names; MakeMembers may rewrite them per instance (e.g. prefixing
+// the instance name for nested scoping).
+type GroupType struct {
+	Name         string
+	Params       []string
+	Members      []string
+	Ports        []PortTemplate
+	Restrictions RestrictionFactory
+	// MemberName maps a template member name to the instance's member
+	// name. Defaults to "<instance>.<member>" which gives each instance
+	// its own copies of its members.
+	MemberName func(instanceName, member string) string
+}
+
+// PortTemplate is a port declaration within a group type; Element refers
+// to a template member name.
+type PortTemplate struct {
+	Element string
+	Class   string
+}
+
+// GroupInstance is the result of instantiating a group type: the group
+// declaration plus the instance-specific member names (so the caller can
+// instantiate member element types under those names).
+type GroupInstance struct {
+	Decl *GroupDecl
+	// MemberNames maps each template member to its per-instance name.
+	MemberNames map[string]string
+}
+
+// Instantiate stamps out a group instance.
+func (t GroupType) Instantiate(instanceName string, args ...string) (*GroupInstance, error) {
+	bound, err := bindArgs(t.Name, t.Params, args)
+	if err != nil {
+		return nil, err
+	}
+	nameOf := t.MemberName
+	if nameOf == nil {
+		nameOf = func(inst, member string) string { return inst + "." + member }
+	}
+	inst := &GroupInstance{
+		Decl:        &GroupDecl{Name: instanceName, TypeName: t.Name},
+		MemberNames: make(map[string]string, len(t.Members)),
+	}
+	for _, m := range t.Members {
+		name := nameOf(instanceName, substitute(m, bound))
+		inst.MemberNames[m] = name
+		inst.Decl.Members = append(inst.Decl.Members, name)
+	}
+	for _, p := range t.Ports {
+		elem, ok := inst.MemberNames[p.Element]
+		if !ok {
+			return nil, fmt.Errorf("spec: group type %s port references non-member %s", t.Name, p.Element)
+		}
+		inst.Decl.Ports = append(inst.Decl.Ports, portOf(elem, p.Class))
+	}
+	if t.Restrictions != nil {
+		inst.Decl.Restrictions = t.Restrictions(instanceName, bound)
+	}
+	return inst, nil
+}
+
+func bindArgs(typeName string, params, args []string) (map[string]string, error) {
+	if len(args) != len(params) {
+		return nil, fmt.Errorf("spec: type %s expects %d arguments, got %d", typeName, len(params), len(args))
+	}
+	bound := make(map[string]string, len(params))
+	for i, p := range params {
+		bound[p] = args[i]
+	}
+	return bound, nil
+}
+
+// substitute applies the paper's text-substitution semantics to a single
+// identifier: if the identifier is a formal parameter, it is replaced by
+// the argument.
+func substitute(ident string, bound map[string]string) string {
+	if v, ok := bound[ident]; ok {
+		return v
+	}
+	return ident
+}
+
+func cloneEvents(events []EventClassDecl, bound map[string]string) []EventClassDecl {
+	out := make([]EventClassDecl, len(events))
+	for i, ec := range events {
+		params := make([]ParamDecl, len(ec.Params))
+		for j, p := range ec.Params {
+			params[j] = ParamDecl{Name: p.Name, Type: substitute(p.Type, bound)}
+		}
+		out[i] = EventClassDecl{Name: ec.Name, Params: params}
+	}
+	return out
+}
