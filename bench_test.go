@@ -118,35 +118,42 @@ func BenchmarkE3RWSpec(b *testing.B) {
 // exploration of the paper's ReadersWriters monitor (2 readers, 1
 // writer) with the priority, mutual-exclusion, and sharing properties
 // checked on every computation; the writers-priority mutant must fail.
+// The j sub-benchmarks exercise the parallel check engine
+// (logic.HoldsEvery fans (computation, property) pairs out to a worker
+// pool); j=1 is the sequential engine.
 func BenchmarkE4MonitorRW(b *testing.B) {
 	w := rw.Workload{Readers: 2, Writers: 1}
 	me, rp := rw.MutualExclusionProp(), rw.ReadersPriorityProp()
-	for i := 0; i < b.N; i++ {
-		runs, _, err := monitor.Explore(rw.NewProgram(rw.ReadersPriority, w), monitor.ExploreOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range runs {
-			if logic.Holds(me, r.Comp, logic.CheckOptions{}) != nil ||
-				logic.Holds(rp, r.Comp, logic.CheckOptions{}) != nil {
-				b.Fatal("paper monitor must satisfy ME and readers priority")
+	for _, j := range []int{1, 4} {
+		j := j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			opts := logic.CheckOptions{Parallelism: j}
+			for i := 0; i < b.N; i++ {
+				runs, _, err := monitor.Explore(rw.NewProgram(rw.ReadersPriority, w), monitor.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comps := make([]*core.Computation, len(runs))
+				for k, r := range runs {
+					comps[k] = r.Comp
+				}
+				if ci, _, _ := logic.HoldsEvery([]logic.Formula{me, rp}, comps, opts); ci >= 0 {
+					b.Fatal("paper monitor must satisfy ME and readers priority")
+				}
+				// The mutant must be refuted at least once.
+				mutantRuns, _, err := monitor.Explore(rw.NewProgram(rw.WritersPriority, w), monitor.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mutants := make([]*core.Computation, len(mutantRuns))
+				for k, r := range mutantRuns {
+					mutants[k] = r.Comp
+				}
+				if ci, _, _ := logic.HoldsEvery([]logic.Formula{rp}, mutants, opts); ci < 0 {
+					b.Fatal("writers-priority mutant must be refuted")
+				}
 			}
-		}
-		// The mutant must be refuted at least once.
-		mutantRuns, _, err := monitor.Explore(rw.NewProgram(rw.WritersPriority, w), monitor.ExploreOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		refuted := false
-		for _, r := range mutantRuns {
-			if logic.Holds(rp, r.Comp, logic.CheckOptions{}) != nil {
-				refuted = true
-				break
-			}
-		}
-		if !refuted {
-			b.Fatal("writers-priority mutant must be refuted")
-		}
+		})
 	}
 }
 
@@ -243,12 +250,19 @@ func BenchmarkE6ProblemSpecs(b *testing.B) {
 
 // BenchmarkE7Matrix runs the full Section 11 verification matrix: three
 // languages × three problems, each exhaustively explored and checked
-// with the sat methodology.
+// with the sat methodology. j=1 is the sequential engine (materialize,
+// then check); higher j streams runs into a sat-check worker pool with
+// the shared history-lattice cache.
 func BenchmarkE7Matrix(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if err := check.RunMatrix(io.Discard); err != nil {
-			b.Fatal(err)
-		}
+	for _, j := range []int{1, 4} {
+		j := j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := check.RunMatrix(io.Discard, check.Options{Parallelism: j}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,11 +5,18 @@
 //	gemcheck histories   — the Section 7 history / vhs enumeration (E2)
 //	gemcheck rw          — the Readers/Writers variant × property matrix (E4)
 //	gemcheck distributed — dbupdate convergence and Life equivalence (E8)
+//
+// The -j flag (default NumCPU) sets the checking parallelism for the rw
+// matrix; -j1 reproduces the sequential engine exactly.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"gem/internal/core"
 	"gem/internal/history"
@@ -28,20 +35,25 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: gemcheck {access|histories|rw|distributed}")
+	fs := flag.NewFlagSet("gemcheck", flag.ContinueOnError)
+	j := fs.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	switch args[0] {
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gemcheck [-j N] {access|histories|rw|distributed}")
+	}
+	switch fs.Arg(0) {
 	case "access":
 		return accessTable()
 	case "histories":
 		return histories()
 	case "rw":
-		return rwMatrix()
+		return rwMatrix(*j)
 	case "distributed":
 		return distributed()
 	default:
-		return fmt.Errorf("unknown check %q", args[0])
+		return fmt.Errorf("unknown check %q", fs.Arg(0))
 	}
 }
 
@@ -104,36 +116,51 @@ func histories() error {
 }
 
 // rwMatrix checks every Readers/Writers monitor variant against the
-// property set.
-func rwMatrix() error {
+// property set. With j > 1 each workload's runs are streamed out of the
+// simulator into a pool of property-checking workers; the aggregated
+// booleans are order-independent, so the table is identical at any j.
+func rwMatrix(j int) error {
 	workloads := []rw.Workload{{Readers: 2, Writers: 1}, {Readers: 1, Writers: 2}}
 	fmt.Printf("%-25s %6s %7s %7s %7s %8s\n", "VARIANT", "RUNS", "MUTEX", "R-PRIO", "W-PRIO", "SHARING")
 	for _, v := range rw.Variants() {
-		me, rp, wp := true, true, true
-		sharing := false
+		var meViol, rpViol, wpViol, sharing atomic.Bool
 		total := 0
 		for _, w := range workloads {
-			runs, _, err := monitor.Explore(rw.NewProgram(v, w), monitor.ExploreOptions{})
+			runs := make(chan *core.Computation, 16)
+			var wg sync.WaitGroup
+			for k := 0; k < logic.Workers(j, 16); k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for comp := range runs {
+						if logic.Holds(rw.MutualExclusionProp(), comp, logic.CheckOptions{}) != nil {
+							meViol.Store(true)
+						}
+						if logic.Holds(rw.ReadersPriorityProp(), comp, logic.CheckOptions{}) != nil {
+							rpViol.Store(true)
+						}
+						if logic.Holds(rw.WritersPriorityProp(), comp, logic.CheckOptions{}) != nil {
+							wpViol.Store(true)
+						}
+						if logic.HoldsAtFull(rw.ReadsOverlap(), comp) == nil {
+							sharing.Store(true)
+						}
+					}
+				}()
+			}
+			_, err := monitor.ExploreStream(rw.NewProgram(v, w), monitor.ExploreOptions{}, func(r monitor.Run) bool {
+				total++
+				runs <- r.Comp
+				return true
+			})
+			close(runs)
+			wg.Wait()
 			if err != nil {
 				return err
 			}
-			total += len(runs)
-			for _, r := range runs {
-				if logic.Holds(rw.MutualExclusionProp(), r.Comp, logic.CheckOptions{}) != nil {
-					me = false
-				}
-				if logic.Holds(rw.ReadersPriorityProp(), r.Comp, logic.CheckOptions{}) != nil {
-					rp = false
-				}
-				if logic.Holds(rw.WritersPriorityProp(), r.Comp, logic.CheckOptions{}) != nil {
-					wp = false
-				}
-				if logic.HoldsAtFull(rw.ReadsOverlap(), r.Comp) == nil {
-					sharing = true
-				}
-			}
 		}
-		fmt.Printf("%-25s %6d %7v %7v %7v %8v\n", v, total, me, rp, wp, sharing)
+		fmt.Printf("%-25s %6d %7v %7v %7v %8v\n", v, total,
+			!meViol.Load(), !rpViol.Load(), !wpViol.Load(), sharing.Load())
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ package check
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"gem/internal/ada"
@@ -23,6 +24,24 @@ import (
 	"gem/internal/spec"
 	"gem/internal/verify"
 )
+
+// Options configures how scenarios are executed.
+type Options struct {
+	// Parallelism is the checking worker count. With a value > 1 each
+	// scenario streams computations out of the simulator into a pool of
+	// sat-check workers (exploration overlaps checking); 0 or 1 runs the
+	// historical sequential pipeline: materialize every run, then check
+	// them one at a time. Verdicts and first-failure indices are
+	// identical either way.
+	Parallelism int
+}
+
+func firstOpt(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
 
 // Language names a concurrency primitive.
 type Language string
@@ -42,9 +61,12 @@ func Languages() []Language { return []Language{Monitor, CSP, Ada} }
 type Scenario struct {
 	Problem  string
 	Language Language
-	// Build returns the problem spec, the explored computations, and the
-	// correspondence.
-	Build func() (*spec.Spec, []*core.Computation, verify.Correspondence, error)
+	// Setup returns the problem spec and the correspondence.
+	Setup func() (*spec.Spec, verify.Correspondence, error)
+	// Stream explores the solution, yielding each computation in the
+	// deterministic exploration order; it reports truncation. Deadlocked
+	// runs surface as errors.
+	Stream func(yield func(*core.Computation) bool) (bool, error)
 }
 
 // Cell is the outcome of running one scenario.
@@ -56,20 +78,73 @@ type Cell struct {
 	Elapsed  time.Duration
 }
 
-// Run executes the scenario.
-func (s Scenario) Run() Cell {
+// Run executes the scenario. With Options.Parallelism > 1 the simulator
+// streams runs through a channel into a pool of sat-check workers;
+// otherwise runs are materialized and checked sequentially, exactly as
+// the original engine did.
+func (s Scenario) Run(opts ...Options) Cell {
+	opt := firstOpt(opts)
 	start := time.Now()
-	problem, comps, corr, err := s.Build()
+	problem, corr, err := s.Setup()
 	if err != nil {
 		return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
 	}
-	idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
-	cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
-	if idx >= 0 {
-		cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
+	if logic.Workers(opt.Parallelism, 2) <= 1 {
+		var comps []*core.Computation
+		truncated, err := s.Stream(func(c *core.Computation) bool {
+			comps = append(comps, c)
+			return true
+		})
+		if err == nil && truncated {
+			err = fmt.Errorf("check: %s exploration truncated", s.Language)
+		}
+		if err != nil {
+			return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
+		}
+		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+		cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
+		if idx >= 0 {
+			cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
+			return cell
+		}
+		cell.Verified = true
 		return cell
 	}
-	cell.Verified = true
+
+	// Parallel pipeline: the producer goroutine explores while the
+	// checking pool consumes. A failure stops the producer early; runs
+	// below the failing index are still checked, so the verdict and
+	// first-failure index match the sequential pipeline's.
+	ch := make(chan verify.Indexed, 4*opt.Parallelism)
+	var stopFlag atomic.Bool
+	var produced int
+	var prodTrunc bool
+	var prodErr error
+	go func() {
+		defer close(ch)
+		trunc, err := s.Stream(func(c *core.Computation) bool {
+			if stopFlag.Load() {
+				return false
+			}
+			ch <- verify.Indexed{Index: produced, Comp: c}
+			produced++
+			return true
+		})
+		prodTrunc, prodErr = trunc, err
+	}()
+	idx, res := verify.CheckStream(problem, ch, func() { stopFlag.Store(true) },
+		corr, logic.CheckOptions{Parallelism: opt.Parallelism})
+	cell := Cell{Scenario: s, Runs: produced, Elapsed: time.Since(start)}
+	switch {
+	case idx >= 0:
+		cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
+	case prodErr != nil:
+		cell.Err = prodErr
+	case prodTrunc:
+		cell.Err = fmt.Errorf("check: %s exploration truncated", s.Language)
+	default:
+		cell.Verified = true
+	}
 	return cell
 }
 
@@ -83,133 +158,164 @@ func Matrix() []Scenario {
 }
 
 func exploreMonitor(p *monitor.Program) ([]*core.Computation, error) {
-	runs, truncated, err := monitor.Explore(p, monitor.ExploreOptions{MaxRuns: 60000})
+	var comps []*core.Computation
+	truncated, err := streamMonitor(p)(func(c *core.Computation) bool {
+		comps = append(comps, c)
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
 	if truncated {
 		return nil, fmt.Errorf("check: monitor exploration truncated")
 	}
-	var comps []*core.Computation
-	for i, r := range runs {
-		if r.Deadlock {
-			return nil, fmt.Errorf("check: monitor run %d deadlocked", i)
-		}
-		comps = append(comps, r.Comp)
-	}
 	return comps, nil
 }
 
-func exploreCSP(p *csp.Program) ([]*core.Computation, error) {
-	runs, truncated, err := csp.Explore(p, csp.ExploreOptions{MaxRuns: 60000})
-	if err != nil {
-		return nil, err
-	}
-	if truncated {
-		return nil, fmt.Errorf("check: csp exploration truncated")
-	}
-	var comps []*core.Computation
-	for i, r := range runs {
-		if r.Deadlock {
-			return nil, fmt.Errorf("check: csp run %d deadlocked", i)
+// streamMonitor adapts monitor.ExploreStream to the scenario streaming
+// shape, rejecting deadlocked runs.
+func streamMonitor(p *monitor.Program) func(yield func(*core.Computation) bool) (bool, error) {
+	return func(yield func(*core.Computation) bool) (bool, error) {
+		i := 0
+		var deadlock error
+		trunc, err := monitor.ExploreStream(p, monitor.ExploreOptions{MaxRuns: 60000}, func(r monitor.Run) bool {
+			if r.Deadlock {
+				deadlock = fmt.Errorf("check: monitor run %d deadlocked", i)
+				return false
+			}
+			i++
+			return yield(r.Comp)
+		})
+		if err == nil {
+			err = deadlock
 		}
-		comps = append(comps, r.Comp)
+		return trunc, err
 	}
-	return comps, nil
 }
 
-func exploreAda(p *ada.Program) ([]*core.Computation, error) {
-	runs, truncated, err := ada.Explore(p, ada.ExploreOptions{MaxRuns: 60000})
-	if err != nil {
-		return nil, err
-	}
-	if truncated {
-		return nil, fmt.Errorf("check: ada exploration truncated")
-	}
-	var comps []*core.Computation
-	for i, r := range runs {
-		if r.Deadlock {
-			return nil, fmt.Errorf("check: ada run %d deadlocked", i)
+func streamCSP(p *csp.Program) func(yield func(*core.Computation) bool) (bool, error) {
+	return func(yield func(*core.Computation) bool) (bool, error) {
+		i := 0
+		var deadlock error
+		trunc, err := csp.ExploreStream(p, csp.ExploreOptions{MaxRuns: 60000}, func(r csp.Run) bool {
+			if r.Deadlock {
+				deadlock = fmt.Errorf("check: csp run %d deadlocked", i)
+				return false
+			}
+			i++
+			return yield(r.Comp)
+		})
+		if err == nil {
+			err = deadlock
 		}
-		comps = append(comps, r.Comp)
+		return trunc, err
 	}
-	return comps, nil
+}
+
+func streamAda(p *ada.Program) func(yield func(*core.Computation) bool) (bool, error) {
+	return func(yield func(*core.Computation) bool) (bool, error) {
+		i := 0
+		var deadlock error
+		trunc, err := ada.ExploreStream(p, ada.ExploreOptions{MaxRuns: 60000}, func(r ada.Run) bool {
+			if r.Deadlock {
+				deadlock = fmt.Errorf("check: ada run %d deadlocked", i)
+				return false
+			}
+			i++
+			return yield(r.Comp)
+		})
+		if err == nil {
+			err = deadlock
+		}
+		return trunc, err
+	}
 }
 
 func oneslotScenario(lang Language) Scenario {
 	w := oneslot.Workload{Producers: 1, Consumers: 1, ItemsPerProducer: 2}
-	return Scenario{Problem: "one-slot-buffer", Language: lang,
-		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+	s := Scenario{Problem: "one-slot-buffer", Language: lang}
+	switch lang {
+	case Monitor:
+		s.Stream = streamMonitor(oneslot.NewMonitorProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
 			problem, err := oneslot.ProblemSpec(w)
-			if err != nil {
-				return nil, nil, verify.Correspondence{}, err
-			}
-			switch lang {
-			case Monitor:
-				comps, err := exploreMonitor(oneslot.NewMonitorProgram(w))
-				return problem, comps, oneslot.MonitorCorrespondence(), err
-			case CSP:
-				comps, err := exploreCSP(oneslot.NewCSPProgram(w))
-				return problem, comps, oneslot.CSPCorrespondence(w), err
-			default:
-				comps, err := exploreAda(oneslot.NewAdaProgram(w))
-				return problem, comps, oneslot.AdaCorrespondence(), err
-			}
-		}}
+			return problem, oneslot.MonitorCorrespondence(), err
+		}
+	case CSP:
+		s.Stream = streamCSP(oneslot.NewCSPProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
+			problem, err := oneslot.ProblemSpec(w)
+			return problem, oneslot.CSPCorrespondence(w), err
+		}
+	default:
+		s.Stream = streamAda(oneslot.NewAdaProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
+			problem, err := oneslot.ProblemSpec(w)
+			return problem, oneslot.AdaCorrespondence(), err
+		}
+	}
+	return s
 }
 
 func boundedbufScenario(lang Language) Scenario {
 	w := boundedbuf.Workload{Producers: 2, Consumers: 1, ItemsPerProducer: 1, Capacity: 2}
-	return Scenario{Problem: "bounded-buffer", Language: lang,
-		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+	s := Scenario{Problem: "bounded-buffer", Language: lang}
+	switch lang {
+	case Monitor:
+		s.Stream = streamMonitor(boundedbuf.NewMonitorProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
 			problem, err := boundedbuf.ProblemSpec(w)
-			if err != nil {
-				return nil, nil, verify.Correspondence{}, err
-			}
-			switch lang {
-			case Monitor:
-				comps, err := exploreMonitor(boundedbuf.NewMonitorProgram(w))
-				return problem, comps, boundedbuf.MonitorCorrespondence(w.Capacity), err
-			case CSP:
-				comps, err := exploreCSP(boundedbuf.NewCSPProgram(w))
-				return problem, comps, boundedbuf.CSPCorrespondence(w), err
-			default:
-				comps, err := exploreAda(boundedbuf.NewAdaProgram(w))
-				return problem, comps, boundedbuf.AdaCorrespondence(), err
-			}
-		}}
+			return problem, boundedbuf.MonitorCorrespondence(w.Capacity), err
+		}
+	case CSP:
+		s.Stream = streamCSP(boundedbuf.NewCSPProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
+			problem, err := boundedbuf.ProblemSpec(w)
+			return problem, boundedbuf.CSPCorrespondence(w), err
+		}
+	default:
+		s.Stream = streamAda(boundedbuf.NewAdaProgram(w))
+		s.Setup = func() (*spec.Spec, verify.Correspondence, error) {
+			problem, err := boundedbuf.ProblemSpec(w)
+			return problem, boundedbuf.AdaCorrespondence(), err
+		}
+	}
+	return s
 }
 
 func rwScenario(lang Language) Scenario {
 	w := rw.Workload{Readers: 2, Writers: 1}
 	clients := []string{"r1", "r2", "w1"}
-	return Scenario{Problem: "readers-writers", Language: lang,
-		Build: func() (*spec.Spec, []*core.Computation, verify.Correspondence, error) {
+	s := Scenario{Problem: "readers-writers", Language: lang}
+	setup := func(corr verify.Correspondence) func() (*spec.Spec, verify.Correspondence, error) {
+		return func() (*spec.Spec, verify.Correspondence, error) {
 			problem, err := rw.ProblemSpec(clients, true)
-			if err != nil {
-				return nil, nil, verify.Correspondence{}, err
-			}
-			switch lang {
-			case Monitor:
-				comps, err := exploreMonitor(rw.NewProgram(rw.ReadersPriority, w))
-				return problem, comps, rw.MonitorCorrespondence(), err
-			case CSP:
-				comps, err := exploreCSP(rw.NewCSPProgram(w))
-				return problem, comps, rw.CSPCorrespondence(w), err
-			default:
-				comps, err := exploreAda(rw.NewAdaProgram(w))
-				return problem, comps, rw.AdaCorrespondence(), err
-			}
-		}}
+			return problem, corr, err
+		}
+	}
+	switch lang {
+	case Monitor:
+		s.Stream = streamMonitor(rw.NewProgram(rw.ReadersPriority, w))
+		s.Setup = setup(rw.MonitorCorrespondence())
+	case CSP:
+		s.Stream = streamCSP(rw.NewCSPProgram(w))
+		s.Setup = setup(rw.CSPCorrespondence(w))
+	default:
+		s.Stream = streamAda(rw.NewAdaProgram(w))
+		s.Setup = setup(rw.AdaCorrespondence())
+	}
+	return s
 }
 
 // RunMatrix executes every scenario and prints a table; it returns an
-// error if any cell fails.
-func RunMatrix(w io.Writer) error {
+// error if any cell fails. Pass Options{Parallelism: n} to use the
+// parallel streaming engine.
+func RunMatrix(w io.Writer, opts ...Options) error {
+	opt := firstOpt(opts)
 	fmt.Fprintf(w, "%-18s %-9s %9s %9s  %s\n", "PROBLEM", "LANGUAGE", "RUNS", "TIME", "RESULT")
 	var firstErr error
 	for _, s := range Matrix() {
-		cell := s.Run()
+		cell := s.Run(opt)
 		result := "verified"
 		if !cell.Verified {
 			result = "FAILED: " + cell.Err.Error()
@@ -282,8 +388,10 @@ func Refutations() []Refutation {
 }
 
 // RunRefutations executes the negative controls: each must be refuted on
-// at least one computation.
-func RunRefutations(w io.Writer) error {
+// at least one computation. Parallel runs report the same (lowest)
+// refuting computation index as sequential ones.
+func RunRefutations(w io.Writer, opts ...Options) error {
+	opt := firstOpt(opts)
 	var firstErr error
 	for _, r := range Refutations() {
 		problem, comps, corr, err := r.Build()
@@ -294,7 +402,7 @@ func RunRefutations(w io.Writer) error {
 			}
 			continue
 		}
-		idx, _ := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+		idx, _ := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Parallelism: opt.Parallelism})
 		if idx < 0 {
 			fmt.Fprintf(w, "%-55s NOT refuted (%d computations) — matrix broken\n", r.Name, len(comps))
 			if firstErr == nil {

@@ -9,6 +9,9 @@ import (
 // TestMatrixAllVerified runs the full Section 11 matrix: three languages
 // × three problems, all verified (experiment E7).
 func TestMatrixAllVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow; skipped in -short mode")
+	}
 	var buf bytes.Buffer
 	if err := RunMatrix(&buf); err != nil {
 		t.Fatalf("matrix failed: %v\n%s", err, buf.String())
@@ -31,6 +34,9 @@ func TestMatrixAllVerified(t *testing.T) {
 }
 
 func TestScenarioCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow; skipped in -short mode")
+	}
 	for _, s := range Matrix() {
 		s := s
 		t.Run(s.Problem+"/"+string(s.Language), func(t *testing.T) {

@@ -1,0 +1,134 @@
+package check
+
+import (
+	"runtime"
+	"testing"
+
+	"gem/internal/history"
+	"gem/internal/legal"
+	"gem/internal/logic"
+	"gem/internal/thread"
+	"gem/internal/verify"
+)
+
+// withProcs raises GOMAXPROCS so the parallel engine actually fans out
+// even on a single-core host.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestMatrixParallelDeterminism: every readers-writers and bounded-buffer
+// cell reports the same verdict and run count with the sequential engine
+// and with the streaming parallel engine (S3).
+func TestMatrixParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive matrix cells are slow; skipped in -short mode")
+	}
+	withProcs(t, 4)
+	for _, s := range Matrix() {
+		if s.Problem != "readers-writers" && s.Problem != "bounded-buffer" {
+			continue
+		}
+		s := s
+		t.Run(s.Problem+"/"+string(s.Language), func(t *testing.T) {
+			seq := s.Run(Options{Parallelism: 1})
+			par := s.Run(Options{Parallelism: 4})
+			if seq.Verified != par.Verified {
+				t.Fatalf("verdicts differ: sequential %v (%v), parallel %v (%v)",
+					seq.Verified, seq.Err, par.Verified, par.Err)
+			}
+			if !seq.Verified {
+				t.Fatalf("cell unexpectedly failing: %v", seq.Err)
+			}
+			if seq.Runs != par.Runs {
+				t.Errorf("run counts differ: sequential %d, parallel %d", seq.Runs, par.Runs)
+			}
+		})
+	}
+}
+
+// TestRefutationParallelDeterminism: the failing mutants are refuted at
+// the same (lowest) computation index, with the same error, at any
+// parallelism (S3).
+func TestRefutationParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutant explorations are slow; skipped in -short mode")
+	}
+	withProcs(t, 4)
+	for _, r := range Refutations() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			problem, comps, corr, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqIdx, seqRes := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Parallelism: 1})
+			if seqIdx < 0 {
+				t.Fatal("mutant not refuted sequentially")
+			}
+			for trial := 0; trial < 3; trial++ {
+				parIdx, parRes := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Parallelism: 4})
+				if parIdx != seqIdx {
+					t.Fatalf("first-failure index differs: sequential %d, parallel %d", seqIdx, parIdx)
+				}
+				if seqRes.Error().Error() != parRes.Error().Error() {
+					t.Fatalf("counterexamples differ:\nsequential: %v\nparallel:   %v",
+						seqRes.Error(), parRes.Error())
+				}
+			}
+		})
+	}
+}
+
+// TestLegalParallelDeterminism: legal.Check fans restrictions out to a
+// pool; the violation list must be identical to the sequential one, and
+// one legality check must enumerate the history lattice at most once
+// even though several restrictions consult it.
+func TestLegalParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutant exploration is slow; skipped in -short mode")
+	}
+	withProcs(t, 4)
+	r := Refutations()[0] // writers-priority monitor vs readers-priority spec
+	problem, comps, corr, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+	if idx < 0 {
+		t.Fatal("mutant not refuted")
+	}
+	check := func(par int) []string {
+		// Project afresh so each check starts with a cold lattice cache.
+		proj, err := verify.Project(comps[idx], corr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thread.Apply(proj.Comp, problem.Threads()...)
+		before := history.LatticeBuilds()
+		res := legal.Check(problem, proj.Comp, legal.Options{Check: logic.CheckOptions{Parallelism: par}})
+		if d := history.LatticeBuilds() - before; d > 1 {
+			t.Errorf("par %d: lattice enumerated %d times in one legality check, want at most 1", par, d)
+		}
+		var out []string
+		for _, v := range res.Violations {
+			out = append(out, v.String())
+		}
+		return out
+	}
+	seq := check(1)
+	if len(seq) == 0 {
+		t.Fatal("expected violations on the refuted computation")
+	}
+	par := check(4)
+	if len(seq) != len(par) {
+		t.Fatalf("violation counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("violation %d differs:\nsequential: %s\nparallel:   %s", i, seq[i], par[i])
+		}
+	}
+}

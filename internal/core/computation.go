@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gem/internal/order"
 )
@@ -19,6 +20,29 @@ type Computation struct {
 
 	reach []order.Bitset // strict temporal reachability (temporal order)
 	preds []order.Bitset // inverse of reach
+
+	derivedMu sync.Mutex
+	derived   map[string]any
+}
+
+// Derived returns the derived datum cached under key, building it with
+// build on first request. A computation is immutable once built, so
+// derived data (e.g. its history lattice) is computed at most once and
+// shared by every checker that needs it; the cache lives and dies with
+// the computation. Safe for concurrent use; build runs at most once per
+// key and must not call Derived on the same computation.
+func (c *Computation) Derived(key string, build func() any) any {
+	c.derivedMu.Lock()
+	defer c.derivedMu.Unlock()
+	if v, ok := c.derived[key]; ok {
+		return v
+	}
+	if c.derived == nil {
+		c.derived = make(map[string]any)
+	}
+	v := build()
+	c.derived[key] = v
+	return v
 }
 
 // NumEvents returns the number of events.

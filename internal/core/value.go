@@ -9,8 +9,8 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
+	"strings"
 )
 
 // ValueKind discriminates the kinds of data that may ride on an event
@@ -103,14 +103,18 @@ func (p Params) String() string {
 		keys = append(keys, k)
 	}
 	sortStrings(keys)
-	s := "("
+	var sb strings.Builder
+	sb.WriteByte('(')
 	for i, k := range keys {
 		if i > 0 {
-			s += ", "
+			sb.WriteString(", ")
 		}
-		s += fmt.Sprintf("%s=%s", k, p[k])
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(p[k].String())
 	}
-	return s + ")"
+	sb.WriteByte(')')
+	return sb.String()
 }
 
 func sortStrings(xs []string) {

@@ -24,8 +24,26 @@ type ExploreOptions struct {
 
 // Explore exhaustively enumerates the program's executions and returns
 // the distinct GEM computations (distinct as partial orders). The bool
-// reports truncation by MaxRuns.
+// reports truncation by MaxRuns. It is the collect-all form of
+// ExploreStream.
 func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
+	var runs []Run
+	truncated, err := ExploreStream(p, opts, func(r Run) bool {
+		runs = append(runs, r)
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return runs, truncated, nil
+}
+
+// ExploreStream enumerates the distinct runs like Explore but hands each
+// one to yield as soon as it completes, in deterministic DFS order, so
+// checkers can consume runs while exploration is still in progress. If
+// yield returns false the exploration stops early with truncated ==
+// false and a nil error.
+func ExploreStream(p *Program, opts ExploreOptions, yield func(Run) bool) (bool, error) {
 	if opts.MaxRuns == 0 {
 		opts.MaxRuns = 100000
 	}
@@ -33,13 +51,14 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 		opts.MaxSteps = 10000
 	}
 	seen := make(map[string]bool)
-	var runs []Run
+	emitted := 0
 	truncated := false
+	stopped := false
 	var exploreErr error
 
 	var dfs func(m *machine)
 	dfs = func(m *machine) {
-		if truncated || exploreErr != nil {
+		if truncated || stopped || exploreErr != nil {
 			return
 		}
 		if m.steps > opts.MaxSteps {
@@ -72,8 +91,12 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 				exploreErr = err
 				return
 			}
-			runs = append(runs, run)
-			if len(runs) >= opts.MaxRuns {
+			emitted++
+			if !yield(run) {
+				stopped = true
+				return
+			}
+			if emitted >= opts.MaxRuns {
 				truncated = true
 			}
 			return
@@ -85,20 +108,20 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 				return
 			}
 			dfs(next)
-			if truncated || exploreErr != nil {
+			if truncated || stopped || exploreErr != nil {
 				return
 			}
 		}
 	}
 	m, err := newMachine(p)
 	if err != nil {
-		return nil, false, err
+		return false, err
 	}
 	dfs(m)
 	if exploreErr != nil {
-		return nil, false, exploreErr
+		return false, exploreErr
 	}
-	return runs, truncated, nil
+	return truncated, nil
 }
 
 type frame struct {

@@ -8,6 +8,7 @@ package history
 
 import (
 	"fmt"
+	"strings"
 
 	"gem/internal/core"
 	"gem/internal/order"
@@ -128,17 +129,19 @@ func (h History) Frontier() []core.EventID {
 
 // String renders the history as the set of event names.
 func (h History) String() string {
-	s := "{"
+	var sb strings.Builder
+	sb.WriteByte('{')
 	first := true
 	h.set.ForEach(func(i int) bool {
 		if !first {
-			s += ", "
+			sb.WriteString(", ")
 		}
 		first = false
-		s += h.c.Event(core.EventID(i)).Name()
+		sb.WriteString(h.c.Event(core.EventID(i)).Name())
 		return true
 	})
-	return s + "}"
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // Enumerate calls fn with every history of c (every prefix-closed subset,
@@ -147,7 +150,7 @@ func (h History) String() string {
 // History passed to fn owns its set; callers must not modify it but may
 // retain it.
 func Enumerate(c *core.Computation, limit int, fn func(h History) bool) int {
-	return order.Ideals(c.Reach(), limit, func(ideal order.Bitset) bool {
+	return order.IdealsPre(c.Reach(), c.Preds(), limit, func(ideal order.Bitset) bool {
 		return fn(History{c: c, set: ideal})
 	})
 }

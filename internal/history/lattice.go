@@ -1,0 +1,80 @@
+package history
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gem/internal/core"
+	"gem/internal/order"
+)
+
+// Lattice is the memoized history lattice of a computation: the full
+// enumeration of its histories, plus the ⊑ (prefix) relation between
+// them, computed at most once and shared by every restriction checked
+// against the computation. A computation's event set and temporal order
+// are immutable, so the lattice never changes; before this cache existed
+// every checked formula re-ran the exponential ideal enumeration.
+type Lattice struct {
+	c *core.Computation
+
+	histOnce  sync.Once
+	histories []History
+
+	pairsOnce sync.Once
+	sups      [][]int32 // sups[i] = ascending indices j with histories[i] ⊑ histories[j]
+}
+
+// latticeBuilds counts raw lattice enumerations, so tests can assert the
+// lattice is enumerated at most once per computation.
+var latticeBuilds atomic.Int64
+
+// LatticeBuilds returns the number of raw history-lattice enumerations
+// performed through Shared since process start.
+func LatticeBuilds() int64 { return latticeBuilds.Load() }
+
+// Shared returns the computation's lattice cache, creating the (empty)
+// cache on first use. Enumeration itself is deferred to the first call
+// of Histories or Pairs. Safe for concurrent use.
+func Shared(c *core.Computation) *Lattice {
+	return c.Derived("history.lattice", func() any { return &Lattice{c: c} }).(*Lattice)
+}
+
+// Histories returns every history of the computation, in the same
+// deterministic order Enumerate produces. The slice and its histories
+// are shared: callers must not modify them.
+func (l *Lattice) Histories() []History {
+	l.histOnce.Do(func() {
+		latticeBuilds.Add(1)
+		order.IdealsPre(l.c.Reach(), l.c.Preds(), 0, func(ideal order.Bitset) bool {
+			// Ideals never mutates an emitted set, so it is safe to retain.
+			l.histories = append(l.histories, History{c: l.c, set: ideal})
+			return true
+		})
+	})
+	return l.histories
+}
+
+// Pairs calls fn with every ordered pair h1 ⊑ h2 of histories (including
+// h1 = h2), in the same nested enumeration order a direct double loop
+// over Histories would visit, stopping early if fn returns false. The
+// subset relation is computed once and memoized.
+func (l *Lattice) Pairs(fn func(h1, h2 History) bool) {
+	hs := l.Histories()
+	l.pairsOnce.Do(func() {
+		l.sups = make([][]int32, len(hs))
+		for i, h1 := range hs {
+			for j, h2 := range hs {
+				if h1.set.SubsetOf(h2.set) {
+					l.sups[i] = append(l.sups[i], int32(j))
+				}
+			}
+		}
+	})
+	for i := range hs {
+		for _, j := range l.sups[i] {
+			if !fn(hs[i], hs[j]) {
+				return
+			}
+		}
+	}
+}

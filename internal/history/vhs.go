@@ -2,6 +2,7 @@ package history
 
 import (
 	"fmt"
+	"strings"
 
 	"gem/internal/core"
 	"gem/internal/order"
@@ -53,14 +54,14 @@ func (s Sequence) IsComplete() bool {
 
 // String renders the sequence.
 func (s Sequence) String() string {
-	out := ""
+	var sb strings.Builder
 	for i, h := range s {
 		if i > 0 {
-			out += " ⊑ "
+			sb.WriteString(" ⊑ ")
 		}
-		out += h.String()
+		sb.WriteString(h.String())
 	}
-	return out
+	return sb.String()
 }
 
 // EnumerateComplete enumerates every maximal valid history sequence of c:

@@ -11,6 +11,8 @@ package legal
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"gem/internal/core"
 	"gem/internal/logic"
@@ -124,13 +126,14 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 	if opts.SkipRestrictions {
 		return res
 	}
-	for _, r := range s.Restrictions() {
-		if cx := logic.Holds(r.F, c, opts.Check); cx != nil {
+	rs := s.Restrictions()
+	for i, cx := range restrictionCounterexamples(s, c, opts) {
+		if cx != nil {
 			v := Violation{
 				Kind:        RestrictionViolation,
 				Message:     cx.Error(),
-				Restriction: r.Name,
-				Owner:       r.Owner,
+				Restriction: rs[i].Name,
+				Owner:       rs[i].Owner,
 				Cx:          cx,
 			}
 			if !add(v) {
@@ -139,6 +142,54 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 		}
 	}
 	return res
+}
+
+// restrictionCounterexamples checks every explicit restriction against
+// the computation, in parallel when opts.Check.Parallelism > 1. Results
+// are indexed by restriction, so violations are always collected in
+// declaration order — a parallel check reports the same violations, in
+// the same order, with the same first-failure restriction index as the
+// sequential one. All restrictions share the computation's memoized
+// history lattice, which is enumerated at most once.
+func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options) []*logic.Counterexample {
+	rs := s.Restrictions()
+	cxs := make([]*logic.Counterexample, len(rs))
+	w := logic.Workers(opts.Check.Parallelism, len(rs))
+	if w <= 1 {
+		// Sequential path: stop at the violation budget like the historical
+		// code did (later restrictions are simply never evaluated).
+		budget := opts.MaxViolations
+		found := 0
+		for i, r := range rs {
+			cxs[i] = logic.Holds(r.F, c, opts.Check)
+			if cxs[i] != nil {
+				found++
+				if budget > 0 && found >= budget {
+					break
+				}
+			}
+		}
+		return cxs
+	}
+	inner := opts.Check
+	inner.Parallelism = 1
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(rs) {
+					return
+				}
+				cxs[i] = logic.Holds(rs[i].F, c, inner)
+			}
+		}()
+	}
+	wg.Wait()
+	return cxs
 }
 
 func checkEvents(s *spec.Spec, c *core.Computation, add func(Violation) bool) bool {

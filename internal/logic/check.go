@@ -39,6 +39,13 @@ type CheckOptions struct {
 	// (linear extensions). Used by the E10 ablation; full GEM semantics
 	// checks all valid history sequences.
 	LinearOnly bool
+	// Parallelism is the worker count used when independent checks are
+	// fanned out: HoldsAll and HoldsEvery across formulas/computations,
+	// legal.Check across restrictions, verify.CheckAll across
+	// computations. 0 or 1 checks sequentially (exactly the historical
+	// behavior); parallel runs report the same verdicts and the same
+	// first (lowest-index) counterexample.
+	Parallelism int
 }
 
 // Holds checks a restriction against a computation following GEM
@@ -107,15 +114,28 @@ func HoldsAtFull(f Formula, c *core.Computation) *Counterexample {
 }
 
 func holdsOnHistories(f Formula, c *core.Computation, limit int) *Counterexample {
-	var cx *Counterexample
-	history.Enumerate(c, limit, func(h history.History) bool {
+	if limit > 0 {
+		// A history budget bounds the cost of this one check; bypass the
+		// shared lattice, which always enumerates fully.
+		var cx *Counterexample
+		history.Enumerate(c, limit, func(h history.History) bool {
+			if !f.Eval(NewEnv(h)) {
+				cx = &Counterexample{Formula: f, History: h, Comp: c}
+				return false
+			}
+			return true
+		})
+		return cx
+	}
+	// The lattice is enumerated once per computation and shared across
+	// every restriction checked against it (same enumeration order, so
+	// the same counterexample is found).
+	for _, h := range history.Shared(c).Histories() {
 		if !f.Eval(NewEnv(h)) {
-			cx = &Counterexample{Formula: f, History: h, Comp: c}
-			return false
+			return &Counterexample{Formula: f, History: h, Comp: c}
 		}
-		return true
-	})
-	return cx
+	}
+	return nil
 }
 
 func holdsOnSequences(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
@@ -192,32 +212,37 @@ func pairCheckable(f Formula, positive bool) bool {
 // bodies are required at both h1 and h2. Sound and complete for
 // pairCheckable formulas.
 func holdsOnHistoryPairs(f Formula, c *core.Computation, limit int) *Counterexample {
-	var all []history.History
-	history.Enumerate(c, limit, func(h history.History) bool {
-		all = append(all, h)
+	if limit > 0 {
+		var all []history.History
+		history.Enumerate(c, limit, func(h history.History) bool {
+			all = append(all, h)
+			return true
+		})
+		for _, h1 := range all {
+			for _, h2 := range all {
+				if !h1.Set().SubsetOf(h2.Set()) {
+					continue
+				}
+				seq := history.Sequence{h1, h2}
+				if !f.Eval(NewSeqEnv(seq, 0)) {
+					return &Counterexample{Formula: Box{F: f}, History: h1, Seq: seq, Comp: c}
+				}
+			}
+		}
+		return nil
+	}
+	// The ⊑ pair relation is memoized on the computation alongside the
+	// lattice itself; Pairs visits pairs in the order the nested loop
+	// above would, so the counterexample is identical.
+	var cx *Counterexample
+	history.Shared(c).Pairs(func(h1, h2 history.History) bool {
+		seq := history.Sequence{h1, h2}
+		if !f.Eval(NewSeqEnv(seq, 0)) {
+			cx = &Counterexample{Formula: Box{F: f}, History: h1, Seq: seq, Comp: c}
+			return false
+		}
 		return true
 	})
-	for _, h1 := range all {
-		for _, h2 := range all {
-			if !h1.Set().SubsetOf(h2.Set()) {
-				continue
-			}
-			seq := history.Sequence{h1, h2}
-			if !f.Eval(NewSeqEnv(seq, 0)) {
-				return &Counterexample{Formula: Box{F: f}, History: h1, Seq: seq, Comp: c}
-			}
-		}
-	}
-	return nil
+	return cx
 }
 
-// HoldsAll checks several restrictions, returning the first
-// counterexample, annotated with its index, or (-1, nil) if all hold.
-func HoldsAll(fs []Formula, c *core.Computation, opts CheckOptions) (int, *Counterexample) {
-	for i, f := range fs {
-		if cx := Holds(f, c, opts); cx != nil {
-			return i, cx
-		}
-	}
-	return -1, nil
-}

@@ -1,0 +1,127 @@
+package logic
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gem/internal/core"
+)
+
+// Workers returns the effective worker count for n independent units at
+// the requested parallelism: 0 and 1 mean sequential, and the pool is
+// never larger than the number of units or useful beyond GOMAXPROCS for
+// CPU-bound checking.
+func Workers(par, n int) int {
+	if par <= 1 || n <= 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); par > max {
+		par = max
+	}
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// FirstFailure evaluates check(i) for i in [0, n) and returns the lowest
+// index whose check reports failure (ok == false) together with that
+// check's result, or (-1, zero) when every unit passes. With par <= 1 it
+// is a plain sequential loop that stops at the first failure; with
+// par > 1 units are fanned out to a bounded worker pool with
+// deterministic first-failure semantics: units above the best failing
+// index found so far are skipped, units below it are always evaluated,
+// so the reported index and result are identical to the sequential
+// run's.
+func FirstFailure[T any](n, par int, check func(i int) (T, bool)) (int, T) {
+	var zero T
+	if w := Workers(par, n); w <= 1 {
+		for i := 0; i < n; i++ {
+			if res, ok := check(i); !ok {
+				return i, res
+			}
+		}
+		return -1, zero
+	} else {
+		var (
+			next    atomic.Int64
+			minFail atomic.Int64
+			mu      sync.Mutex
+			results = make(map[int]T)
+			wg      sync.WaitGroup
+		)
+		minFail.Store(int64(n))
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n {
+						return
+					}
+					if int64(i) >= minFail.Load() {
+						continue // a lower failure already decides the run
+					}
+					res, ok := check(i)
+					if ok {
+						continue
+					}
+					mu.Lock()
+					results[i] = res
+					mu.Unlock()
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if m := int(minFail.Load()); m < n {
+			return m, results[m]
+		}
+		return -1, zero
+	}
+}
+
+// HoldsAll checks several restrictions, returning the first
+// counterexample, annotated with its index, or (-1, nil) if all hold.
+// With opts.Parallelism > 1 the restrictions are checked concurrently
+// with deterministic first-failure semantics: the reported index and
+// counterexample are the ones the sequential run finds.
+func HoldsAll(fs []Formula, c *core.Computation, opts CheckOptions) (int, *Counterexample) {
+	inner := opts
+	inner.Parallelism = 1
+	return FirstFailure(len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
+		cx := Holds(fs[i], c, inner)
+		return cx, cx == nil
+	})
+}
+
+// HoldsEvery checks every restriction against every computation, fanning
+// the (computation, formula) pairs out to a worker pool. It returns the
+// indices of the first failure in (computation-major, formula-minor)
+// order plus its counterexample, or (-1, -1, nil) when every pair holds —
+// exactly what nested sequential loops would report.
+func HoldsEvery(fs []Formula, comps []*core.Computation, opts CheckOptions) (int, int, *Counterexample) {
+	if len(fs) == 0 || len(comps) == 0 {
+		return -1, -1, nil
+	}
+	inner := opts
+	inner.Parallelism = 1
+	u, cx := FirstFailure(len(comps)*len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
+		cx := Holds(fs[i%len(fs)], comps[i/len(fs)], inner)
+		return cx, cx == nil
+	})
+	if u < 0 {
+		return -1, -1, nil
+	}
+	return u / len(fs), u % len(fs), cx
+}

@@ -33,8 +33,27 @@ type ExploreOptions struct {
 // Hoare monitor semantics and returns the distinct GEM computations
 // reached (distinct as partial orders: interleavings that differ only in
 // the order of concurrent events collapse). The second result reports
-// whether exploration was truncated by MaxRuns.
+// whether exploration was truncated by MaxRuns. It is the collect-all
+// form of ExploreStream.
 func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
+	var runs []Run
+	truncated, err := ExploreStream(p, opts, func(r Run) bool {
+		runs = append(runs, r)
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return runs, truncated, nil
+}
+
+// ExploreStream enumerates the distinct runs like Explore but hands each
+// one to yield as soon as its terminal state is reached, instead of
+// materializing the full slice — checkers can consume runs while the
+// exploration is still in progress. Enumeration order is deterministic
+// (the DFS order Explore uses). If yield returns false the exploration
+// stops early with truncated == false and a nil error.
+func ExploreStream(p *Program, opts ExploreOptions, yield func(Run) bool) (bool, error) {
 	if opts.MaxRuns == 0 {
 		opts.MaxRuns = 100000
 	}
@@ -42,13 +61,14 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 		opts.MaxSteps = 10000
 	}
 	seen := make(map[string]bool)
-	var runs []Run
+	emitted := 0
 	truncated := false
+	stopped := false
 	var exploreErr error
 
 	var dfs func(m *machine)
 	dfs = func(m *machine) {
-		if truncated || exploreErr != nil {
+		if truncated || stopped || exploreErr != nil {
 			return
 		}
 		if m.steps > opts.MaxSteps {
@@ -85,8 +105,12 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 				exploreErr = err
 				return
 			}
-			runs = append(runs, run)
-			if len(runs) >= opts.MaxRuns {
+			emitted++
+			if !yield(run) {
+				stopped = true
+				return
+			}
+			if emitted >= opts.MaxRuns {
 				truncated = true
 			}
 			return
@@ -98,20 +122,20 @@ func Explore(p *Program, opts ExploreOptions) ([]Run, bool, error) {
 				return
 			}
 			dfs(next)
-			if truncated || exploreErr != nil {
+			if truncated || stopped || exploreErr != nil {
 				return
 			}
 		}
 	}
 	m, err := newMachine(p)
 	if err != nil {
-		return nil, false, err
+		return false, err
 	}
 	dfs(m)
 	if exploreErr != nil {
-		return nil, false, exploreErr
+		return false, exploreErr
 	}
-	return runs, truncated, nil
+	return truncated, nil
 }
 
 type procStatus int

@@ -11,8 +11,14 @@ package order
 // elements of the complement, deduplicating via a visited set, so each
 // ideal is produced exactly once.
 func Ideals(reach []Bitset, limit int, fn func(ideal Bitset) bool) int {
+	return IdealsPre(reach, Invert(reach), limit, fn)
+}
+
+// IdealsPre is Ideals with the predecessor sets supplied by the caller,
+// avoiding the Invert when they are already at hand (core.Computation
+// keeps both directions).
+func IdealsPre(reach, preds []Bitset, limit int, fn func(ideal Bitset) bool) int {
 	n := len(reach)
-	preds := Invert(reach)
 	seen := make(map[string]bool)
 	count := 0
 	stop := false

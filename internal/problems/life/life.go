@@ -16,6 +16,7 @@ package life
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"gem/internal/core"
 	"gem/internal/logic"
@@ -68,18 +69,18 @@ func (b Board) Equal(o Board) bool {
 
 // String renders the board with # for live cells.
 func (b Board) String() string {
-	out := ""
+	var sb strings.Builder
 	for _, row := range b {
 		for _, alive := range row {
 			if alive {
-				out += "#"
+				sb.WriteByte('#')
 			} else {
-				out += "."
+				sb.WriteByte('.')
 			}
 		}
-		out += "\n"
+		sb.WriteByte('\n')
 	}
-	return out
+	return sb.String()
 }
 
 // neighbours of (x, y) within the board (8-neighbourhood, no wrap).

@@ -29,6 +29,9 @@ func clientNames(w Workload) []string {
 }
 
 func TestSatMonitorReadersPriority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sat check is slow; skipped in -short mode")
+	}
 	w := Workload{Readers: 2, Writers: 1}
 	problem, err := ProblemSpec(clientNames(w), true)
 	if err != nil {
@@ -58,6 +61,9 @@ func projString(res verify.Result) string {
 // the priority-free spec on all — the sat method distinguishes the
 // variants.
 func TestSatRefutesWritersPriorityMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sat check is slow; skipped in -short mode")
+	}
 	w := Workload{Readers: 2, Writers: 1}
 	withPriority, err := ProblemSpec(clientNames(w), true)
 	if err != nil {
@@ -86,6 +92,9 @@ func TestSatRefutesWritersPriorityMonitor(t *testing.T) {
 }
 
 func TestSatCSP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sat check is slow; skipped in -short mode")
+	}
 	w := Workload{Readers: 2, Writers: 1}
 	problem, err := ProblemSpec(clientNames(w), true)
 	if err != nil {
@@ -113,6 +122,9 @@ func TestSatCSP(t *testing.T) {
 }
 
 func TestSatAda(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sat check is slow; skipped in -short mode")
+	}
 	w := Workload{Readers: 2, Writers: 1}
 	problem, err := ProblemSpec(clientNames(w), true)
 	if err != nil {

@@ -1,0 +1,40 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandElement(t *testing.T) {
+	tests := []struct {
+		pattern, key string
+		want         string
+		errSubstr    string
+	}{
+		{"buffer", "r1", "buffer", ""},
+		{"u%s", "r1", "ur1", ""},
+		{"%s", "w1", "w1", ""},
+		{"a%sb", "x", "axb", ""},
+		{"u%s%s", "r1", "", "more than once"},
+		{"u%d", "r1", "", "unsupported verb %d"},
+		{"u%v", "r1", "", "unsupported verb %v"},
+		{"u%", "r1", "", "bare %"},
+		{"100%%", "r1", "", "unsupported verb %%"},
+	}
+	for _, tt := range tests {
+		got, err := expandElement(tt.pattern, tt.key)
+		if tt.errSubstr == "" {
+			if err != nil {
+				t.Errorf("expandElement(%q, %q): unexpected error %v", tt.pattern, tt.key, err)
+			} else if got != tt.want {
+				t.Errorf("expandElement(%q, %q) = %q, want %q", tt.pattern, tt.key, got, tt.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("expandElement(%q, %q) = %q, want error containing %q", tt.pattern, tt.key, got, tt.errSubstr)
+		} else if !strings.Contains(err.Error(), tt.errSubstr) {
+			t.Errorf("expandElement(%q, %q) error = %v, want substring %q", tt.pattern, tt.key, err, tt.errSubstr)
+		}
+	}
+}

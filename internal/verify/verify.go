@@ -18,6 +18,8 @@ package verify
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"gem/internal/core"
 	"gem/internal/legal"
@@ -105,9 +107,9 @@ func Project(c *core.Computation, corr Correspondence) (*Projection, error) {
 				}
 				key = v.S
 			}
-			elem := r.Element
-			if containsPercentS(elem) {
-				elem = fmt.Sprintf(elem, key)
+			elem, err := expandElement(r.Element, key)
+			if err != nil {
+				return nil, err
 			}
 			hits = append(hits, hit{prog: e.ID, rule: r, key: key, elem: elem, class: r.Class})
 			break // first matching rule wins
@@ -259,15 +261,85 @@ func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts lo
 
 // CheckAll runs Check over a set of program computations (e.g. every run
 // of an exhaustive exploration), returning the index and result of the
-// first failure, or (-1, ok-result) if all satisfy the problem.
+// first failure, or (-1, ok-result) if all satisfy the problem. With
+// opts.Parallelism > 1 the computations are fanned out to a worker pool
+// with deterministic first-failure semantics: the reported index and
+// result are the ones the sequential run finds.
 func CheckAll(problem *spec.Spec, comps []*core.Computation, corr Correspondence, opts logic.CheckOptions) (int, Result) {
-	for i, c := range comps {
-		res := Check(problem, c, corr, opts)
-		if !res.Sat() {
-			return i, res
+	inner := opts
+	inner.Parallelism = 1
+	idx, res := logic.FirstFailure(len(comps), opts.Parallelism, func(i int) (Result, bool) {
+		r := Check(problem, comps[i], corr, inner)
+		return r, r.Sat()
+	})
+	if idx < 0 {
+		return -1, Result{}
+	}
+	return idx, res
+}
+
+// Indexed pairs a computation with its position in the exploration
+// order, for streaming checks.
+type Indexed struct {
+	Index int
+	Comp  *core.Computation
+}
+
+// CheckStream runs the sat check over computations arriving on ch (e.g.
+// streamed from a simulator while exploration is still in progress)
+// using opts.Parallelism workers. It drains the channel completely and
+// returns the lowest failing index and its result, or (-1, ok-result)
+// when every computation satisfies the problem. When a failure is found,
+// stop (if non-nil) is called once to let the producer cut exploration
+// short; computations with a lower index are still checked, so the
+// verdict and first-failure index equal the sequential run's over the
+// same stream prefix.
+func CheckStream(problem *spec.Spec, ch <-chan Indexed, stop func(), corr Correspondence, opts logic.CheckOptions) (int, Result) {
+	inner := opts
+	inner.Parallelism = 1
+	w := logic.Workers(opts.Parallelism, 1<<30)
+	var (
+		mu      sync.Mutex
+		bestIdx = -1
+		bestRes Result
+		stopped bool
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if bestIdx < 0 || i < bestIdx {
+			bestIdx, bestRes = i, r
+		}
+		if !stopped && stop != nil {
+			stopped = true
+			stop()
 		}
 	}
-	return -1, Result{}
+	skip := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return bestIdx >= 0 && i > bestIdx
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range ch {
+				if skip(item.Index) {
+					continue
+				}
+				if r := Check(problem, item.Comp, corr, inner); !r.Sat() {
+					fail(item.Index, r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bestIdx < 0 {
+		return -1, Result{}
+	}
+	return bestIdx, bestRes
 }
 
 func whereMatches(e *core.Event, where core.Params) bool {
@@ -279,11 +351,28 @@ func whereMatches(e *core.Event, where core.Params) bool {
 	return true
 }
 
-func containsPercentS(s string) bool {
-	for i := 0; i+1 < len(s); i++ {
-		if s[i] == '%' && s[i+1] == 's' {
-			return true
+// expandElement substitutes the transaction key into an element pattern.
+// Only the %s placeholder is supported, at most once; any other format
+// verb (or a trailing %) is rejected with a clear error instead of
+// letting fmt.Sprintf mint element names like "u%!d(string=r1)".
+func expandElement(pattern, key string) (string, error) {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] != '%' {
+			continue
 		}
+		if i+1 >= len(pattern) {
+			return "", fmt.Errorf("verify: element pattern %q ends with a bare %%", pattern)
+		}
+		if pattern[i+1] != 's' {
+			return "", fmt.Errorf("verify: element pattern %q contains unsupported verb %%%c (only %%s is allowed)", pattern, pattern[i+1])
+		}
+		i++
 	}
-	return false
+	if !strings.Contains(pattern, "%s") {
+		return pattern, nil
+	}
+	if strings.Count(pattern, "%s") > 1 {
+		return "", fmt.Errorf("verify: element pattern %q uses %%s more than once", pattern)
+	}
+	return strings.Replace(pattern, "%s", key, 1), nil
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate: vet, build, and run the full test suite under the race
+# detector (the parallel check engine is concurrency-heavy, so -race is
+# mandatory, not optional). Run from the repository root:
+#
+#   ./scripts/ci.sh          # full suite
+#   ./scripts/ci.sh -short   # fast subset (exhaustive explorations skipped)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+echo "==> go build ./..."
+go build ./...
+echo "==> go test -race $* ./..."
+go test -race "$@" ./...
+echo "==> ok"
