@@ -2,38 +2,66 @@
 // concrete syntax (see internal/gemlang): it parses the file, validates
 // the element/group/thread structure, and prints a summary of the
 // compiled specification — or, with -format, re-emits it as canonical
-// GEM source.
+// GEM source. With -lint it additionally runs the gemlint static
+// analyses and fails on any error-severity finding. The flags compose in
+// any order relative to each other and the file argument.
 //
 // Usage:
 //
-//	gemc [-format] FILE.gem
+//	gemc [-format] [-lint] FILE.gem
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"gem/internal/gemlang"
+	"gem/internal/lint"
 	"gem/internal/spec"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gemc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	format := false
-	if len(args) > 0 && args[0] == "-format" {
-		format = true
-		args = args[1:]
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gemc", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	format := fs.Bool("format", false, "re-emit the specification as canonical GEM source")
+	lintFlag := fs.Bool("lint", false, "run the gemlint static analyses; errors fail the compile")
+	usage := func() error {
+		var b strings.Builder
+		fmt.Fprintln(&b, "usage: gemc [-format] [-lint] FILE.gem")
+		fs.SetOutput(&b)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+		return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
 	}
-	if len(args) != 1 {
-		return fmt.Errorf("usage: gemc [-format] FILE.gem")
+	// All gemc flags are boolean, so flags and the file argument compose
+	// in any order: pull the flag-shaped arguments forward before
+	// parsing (the stdlib parser stops at the first positional).
+	var flags, pos []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && a != "-" {
+			flags = append(flags, a)
+		} else {
+			pos = append(pos, a)
+		}
 	}
-	src, err := os.ReadFile(args[0])
+	if err := fs.Parse(append(flags, pos...)); err != nil {
+		return usage()
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	file := fs.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
@@ -44,61 +72,71 @@ func run(args []string) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	if format {
-		fmt.Print(gemlang.Format(s))
+	if *lintFlag {
+		res, err := lint.AnalyzeSource(string(src))
+		if err != nil {
+			return err
+		}
+		lint.Print(stdout, file, res.Diags)
+		if n := len(res.Errors()); n > 0 {
+			return fmt.Errorf("lint: %d error(s) in %s", n, file)
+		}
+	}
+	if *format {
+		fmt.Fprint(stdout, gemlang.Format(s))
 		return nil
 	}
-	dump(s)
+	dump(s, stdout)
 	return nil
 }
 
-func dump(s *spec.Spec) {
-	fmt.Printf("specification %s\n", s.Name)
+func dump(s *spec.Spec, w io.Writer) {
+	fmt.Fprintf(w, "specification %s\n", s.Name)
 	for _, name := range s.ElementNames() {
 		d, _ := s.Element(name)
-		fmt.Printf("  element %s", name)
+		fmt.Fprintf(w, "  element %s", name)
 		if d.TypeName != "" {
-			fmt.Printf(" : %s", d.TypeName)
+			fmt.Fprintf(w, " : %s", d.TypeName)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		for _, ec := range d.Events {
-			fmt.Printf("    event %s", ec.Name)
+			fmt.Fprintf(w, "    event %s", ec.Name)
 			if len(ec.Params) > 0 {
-				fmt.Print("(")
+				fmt.Fprint(w, "(")
 				for i, p := range ec.Params {
 					if i > 0 {
-						fmt.Print(", ")
+						fmt.Fprint(w, ", ")
 					}
-					fmt.Printf("%s: %s", p.Name, p.Type)
+					fmt.Fprintf(w, "%s: %s", p.Name, p.Type)
 				}
-				fmt.Print(")")
+				fmt.Fprint(w, ")")
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		for _, r := range d.Restrictions {
-			fmt.Printf("    restriction %q\n", r.Name)
+			fmt.Fprintf(w, "    restriction %q\n", r.Name)
 		}
 	}
 	for _, name := range s.GroupNames() {
 		g, _ := s.Group(name)
-		fmt.Printf("  group %s members=%v", name, g.Members)
+		fmt.Fprintf(w, "  group %s members=%v", name, g.Members)
 		if len(g.Ports) > 0 {
-			fmt.Print(" ports=")
+			fmt.Fprint(w, " ports=")
 			for i, p := range g.Ports {
 				if i > 0 {
-					fmt.Print(",")
+					fmt.Fprint(w, ",")
 				}
-				fmt.Printf("%s.%s", p.Element, p.Class)
+				fmt.Fprintf(w, "%s.%s", p.Element, p.Class)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		for _, r := range g.Restrictions {
-			fmt.Printf("    restriction %q\n", r.Name)
+			fmt.Fprintf(w, "    restriction %q\n", r.Name)
 		}
 	}
 	for _, tt := range s.Threads() {
-		fmt.Printf("  thread %s path=%d classes\n", tt.Name, len(tt.Path))
+		fmt.Fprintf(w, "  thread %s path=%d classes\n", tt.Name, len(tt.Path))
 	}
 	count := len(s.Restrictions())
-	fmt.Printf("  %d restriction(s) total\n", count)
+	fmt.Fprintf(w, "  %d restriction(s) total\n", count)
 }

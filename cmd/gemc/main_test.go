@@ -1,28 +1,37 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
+func runQuiet(args ...string) error { return run(args, io.Discard) }
+
 func TestRunOnShippedSpec(t *testing.T) {
-	if err := run([]string{"../../examples/specs/readerswriters.gem"}); err != nil {
+	if err := runQuiet("../../examples/specs/readerswriters.gem"); err != nil {
 		t.Fatalf("gemc on the shipped spec: %v", err)
 	}
 }
 
 func TestRunUsage(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := runQuiet(); err == nil {
 		t.Error("no arguments must fail")
+	} else if !strings.Contains(err.Error(), "usage:") {
+		t.Errorf("error must carry the usage message, got: %v", err)
 	}
-	if err := run([]string{"a", "b"}); err == nil {
-		t.Error("two arguments must fail")
+	if err := runQuiet("a", "b"); err == nil {
+		t.Error("two file arguments must fail")
+	}
+	if err := runQuiet("-nonsense", "a"); err == nil {
+		t.Error("unknown flag must fail")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run([]string{"/nonexistent.gem"}); err == nil {
+	if err := runQuiet("/nonexistent.gem"); err == nil {
 		t.Error("missing file must fail")
 	}
 }
@@ -33,7 +42,7 @@ func TestRunParseError(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("ELEMENT X EVENTS"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{bad}); err == nil {
+	if err := runQuiet(bad); err == nil {
 		t.Error("parse error must be reported")
 	}
 }
@@ -45,19 +54,90 @@ func TestRunValidationError(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{bad}); err == nil {
+	if err := runQuiet(bad); err == nil {
 		t.Error("validation error must be reported")
 	}
 }
 
 func TestRunFormatRoundTrip(t *testing.T) {
-	if err := run([]string{"-format", "../../examples/specs/readerswriters.gem"}); err != nil {
+	if err := runQuiet("-format", "../../examples/specs/readerswriters.gem"); err != nil {
 		t.Fatalf("gemc -format: %v", err)
 	}
 }
 
 func TestRunOnBoundedBufferSpec(t *testing.T) {
-	if err := run([]string{"../../examples/specs/boundedbuffer.gem"}); err != nil {
+	if err := runQuiet("../../examples/specs/boundedbuffer.gem"); err != nil {
 		t.Fatalf("gemc on the bounded-buffer spec: %v", err)
+	}
+}
+
+// TestFlagsComposeInAnyOrder is the regression test for the historical
+// ad-hoc argument handling, which recognized -format only as the first
+// argument. Flags must now compose in any order, including after the
+// file argument.
+func TestFlagsComposeInAnyOrder(t *testing.T) {
+	const file = "../../examples/specs/boundedbuffer.gem"
+	orders := [][]string{
+		{"-format", "-lint", file},
+		{"-lint", "-format", file},
+		{file, "-format", "-lint"},
+		{"-lint", file, "-format"},
+	}
+	var want string
+	for i, args := range orders {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if i == 0 {
+			want = b.String()
+			if !strings.Contains(want, "ELEMENT") {
+				t.Fatalf("-format output missing source, got:\n%s", want)
+			}
+			continue
+		}
+		if b.String() != want {
+			t.Errorf("run(%v) output differs from run(%v)", args, orders[0])
+		}
+	}
+}
+
+// TestRunLintFailsOnDefectiveSpec: -lint must fail the compile when the
+// analyzer reports errors, even though the spec parses and validates.
+func TestRunLintFailsOnDefectiveSpec(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "cyclic.gem")
+	src := `ELEMENT a EVENTS Go END
+ELEMENT b EVENTS Go END
+RESTRICTION "fwd": PREREQ(a.Go -> b.Go) ;
+RESTRICTION "bwd": PREREQ(b.Go -> a.Go) ;
+`
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-lint", bad}, &b)
+	if err == nil {
+		t.Fatal("-lint must fail on a prerequisite cycle")
+	}
+	if !strings.Contains(b.String(), "GEM004") {
+		t.Errorf("diagnostics must name GEM004, got:\n%s", b.String())
+	}
+	// Without -lint the same file still compiles (the defect is a lint
+	// finding, not a structural validation error).
+	if err := runQuiet(bad); err != nil {
+		t.Errorf("without -lint the spec must still compile: %v", err)
+	}
+}
+
+// TestRunLintCleanSpec: the shipped example specs must be lint-clean.
+func TestRunLintCleanSpec(t *testing.T) {
+	for _, f := range []string{
+		"../../examples/specs/readerswriters.gem",
+		"../../examples/specs/boundedbuffer.gem",
+	} {
+		if err := runQuiet("-lint", f); err != nil {
+			t.Errorf("gemc -lint %s: %v", f, err)
+		}
 	}
 }

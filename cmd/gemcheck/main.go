@@ -15,16 +15,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"gem/internal/core"
 	"gem/internal/history"
+	"gem/internal/lint"
 	"gem/internal/logic"
 	"gem/internal/monitor"
 	"gem/internal/problems/dbupdate"
 	"gem/internal/problems/life"
 	"gem/internal/problems/rw"
+	"gem/internal/spec"
 )
 
 func main() {
@@ -55,6 +58,21 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown check %q", fs.Arg(0))
 	}
+}
+
+// prelint runs the gemlint static analyses over a problem specification
+// before any exploration: a statically defective spec fails fast with
+// its diagnostics instead of paying for the exhaustive enumeration.
+func prelint(name string, s *spec.Spec) error {
+	res := lint.ForSpec(s)
+	if errs := res.Errors(); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, d := range errs {
+			msgs[i] = d.String()
+		}
+		return fmt.Errorf("%s specification fails lint:\n  %s", name, strings.Join(msgs, "\n  "))
+	}
+	return nil
 }
 
 // accessTable reproduces the paper's Section 4 allowed-enable table.
@@ -120,6 +138,13 @@ func histories() error {
 // simulator into a pool of property-checking workers; the aggregated
 // booleans are order-independent, so the table is identical at any j.
 func rwMatrix(j int) error {
+	// Pre-flight: the Readers/Writers problem specification itself must
+	// be statically well-formed before any variant is explored.
+	if s, err := rw.ProblemSpec([]string{"r1", "r2", "w1"}, true); err != nil {
+		return err
+	} else if err := prelint("readers/writers", s); err != nil {
+		return err
+	}
 	workloads := []rw.Workload{{Readers: 2, Writers: 1}, {Readers: 1, Writers: 2}}
 	fmt.Printf("%-25s %6s %7s %7s %7s %8s\n", "VARIANT", "RUNS", "MUTEX", "R-PRIO", "W-PRIO", "SHARING")
 	for _, v := range rw.Variants() {
@@ -168,6 +193,9 @@ func rwMatrix(j int) error {
 // distributed runs the two distributed applications.
 func distributed() error {
 	cfg := dbupdate.Config{Sites: 3, Updates: []dbupdate.Update{{Site: 0, Value: 7}, {Site: 1, Value: 9}}}
+	if err := prelint("dbupdate", dbupdate.Spec(cfg)); err != nil {
+		return err
+	}
 	runs, _, err := dbupdate.Explore(cfg, dbupdate.ExploreOptions{})
 	if err != nil {
 		return err

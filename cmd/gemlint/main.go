@@ -1,0 +1,98 @@
+// Command gemlint runs the static well-formedness and consistency
+// analyses of internal/lint over GEM specification source files and
+// reports position-annotated diagnostics.
+//
+// Usage:
+//
+//	gemlint [-json] FILE.gem...
+//
+// Text output is one finding per line:
+//
+//	file.gem:12:3: GEM004 error: restriction "r" of spec: ...
+//
+// Exit status: 0 when every file is clean (or has only informational
+// output), 1 when warnings were reported but no errors, 2 on errors —
+// including files that fail to parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gem/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileDiag is one diagnostic tagged with its file, the JSON output unit.
+type fileDiag struct {
+	File string `json:"file"`
+	lint.Diagnostic
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gemlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: gemlint [-json] FILE.gem...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	worsen := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
+	var all []fileDiag
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			worsen(2)
+			continue
+		}
+		res, err := lint.AnalyzeSource(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "gemlint: %s: %v\n", file, err)
+			worsen(2)
+			continue
+		}
+		for _, d := range res.Diags {
+			all = append(all, fileDiag{File: file, Diagnostic: d})
+			if d.Severity >= lint.SeverityError {
+				worsen(2)
+			} else {
+				worsen(1)
+			}
+		}
+		if !*jsonOut {
+			lint.Print(stdout, file, res.Diags)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []fileDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			worsen(2)
+		}
+	}
+	return exit
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanSpec = `SPEC clean
+ELEMENT a
+  EVENTS Ping
+  RESTRICTIONS
+    "ping": (FORALL x: Ping) occurred(x) ;
+END
+`
+
+const warnSpec = `SPEC warn
+ELEMENT a
+  EVENTS Ping Pong
+  RESTRICTIONS
+    "ping": (FORALL x: Ping) occurred(x) ;
+END
+`
+
+const errSpec = `SPEC bad
+ELEMENT a
+  EVENTS Ping
+  RESTRICTIONS
+    "unbound": (FORALL x: Ping) x |> y ;
+END
+`
+
+func writeSpec(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"clean.gem", cleanSpec, 0},
+		{"warn.gem", warnSpec, 1},
+		{"err.gem", errSpec, 2},
+		{"noparse.gem", "SPEC ( nope", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeSpec(t, tc.name, tc.src)
+			var out, errb strings.Builder
+			if got := run([]string{path}, &out, &errb); got != tc.want {
+				t.Errorf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+func TestRunNoArgsIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run(nil, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("expected usage on stderr, got: %s", errb.String())
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run([]string{filepath.Join(t.TempDir(), "absent.gem")}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	bad := writeSpec(t, "bad.gem", errSpec)
+	var out, errb strings.Builder
+	if got := run([]string{"-json", bad}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", got, errb.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected at least one diagnostic in JSON output")
+	}
+	if diags[0].Code != "GEM008" || diags[0].Severity != "error" || diags[0].File != bad {
+		t.Errorf("unexpected first diagnostic: %+v", diags[0])
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	clean := writeSpec(t, "clean.gem", cleanSpec)
+	var out, errb strings.Builder
+	if got := run([]string{"-json", clean}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", got, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("expected empty JSON array, got: %s", out.String())
+	}
+}

@@ -1,4 +1,4 @@
-package gemlang
+package gemlang_test
 
 import (
 	"os"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gem/internal/core"
+	"gem/internal/gemlang"
 	"gem/internal/legal"
 	"gem/internal/logic"
 )
@@ -56,17 +57,17 @@ func TestSourceRoundTripsFormulae(t *testing.T) {
 		"JOIN({b.B, c.C} -> a.A)",
 	}
 	for _, src := range formulas {
-		f1, err := ParseFormula(src)
+		f1, err := gemlang.ParseFormula(src)
 		if err != nil {
 			t.Fatalf("parse %q: %v", src, err)
 		}
-		rendered := Source(f1)
-		f2, err := ParseFormula(rendered)
+		rendered := gemlang.Source(f1)
+		f2, err := gemlang.ParseFormula(rendered)
 		if err != nil {
-			t.Fatalf("reparse of Source(%q) = %q failed: %v", src, rendered, err)
+			t.Fatalf("reparse of gemlang.Source(%q) = %q failed: %v", src, rendered, err)
 		}
 		// Fixpoint: formatting the reparsed formula is stable.
-		if again := Source(f2); again != rendered {
+		if again := gemlang.Source(f2); again != rendered {
 			t.Errorf("Source not a fixpoint for %q:\n  first:  %s\n  second: %s", src, rendered, again)
 		}
 	}
@@ -80,16 +81,16 @@ func TestFormatRoundTripsSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := Parse(string(src))
+	s1, err := gemlang.Parse(string(src))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out1 := Format(s1)
-	s2, err := Parse(out1)
+	out1 := gemlang.Format(s1)
+	s2, err := gemlang.Parse(out1)
 	if err != nil {
 		t.Fatalf("formatted spec does not reparse: %v\n%s", err, out1)
 	}
-	out2 := Format(s2)
+	out2 := gemlang.Format(s2)
 	if out1 != out2 {
 		t.Errorf("Format not a fixpoint:\n--- first\n%s\n--- second\n%s", out1, out2)
 	}
@@ -121,11 +122,11 @@ ELEMENT V
         -> a.newval = g.oldval ;
 END
 `
-	s1, err := Parse(specSrc)
+	s1, err := gemlang.Parse(specSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Parse(Format(s1))
+	s2, err := gemlang.Parse(gemlang.Format(s1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ END
 
 func TestSourceBoolConstant(t *testing.T) {
 	f := logic.ParamConst{X: "x", P: "alive", Op: logic.OpEq, V: core.Bool(true)}
-	src := Source(f)
+	src := gemlang.Source(f)
 	if !strings.Contains(src, "TRUE") {
 		t.Errorf("bool constant rendering = %q", src)
 	}
-	if _, err := ParseFormula(src); err != nil {
+	if _, err := gemlang.ParseFormula(src); err != nil {
 		t.Errorf("bool constant does not reparse: %v", err)
 	}
 }
@@ -169,22 +170,22 @@ func TestSourceBoolConstant(t *testing.T) {
 func TestSourceUnionQuantifiers(t *testing.T) {
 	refs := []core.ClassRef{core.Ref("a", "A"), core.Ref("b", "B")}
 	fa := logic.ForAllIn{Var: "x", Refs: refs, Body: logic.Occurred{Var: "x"}}
-	if _, err := ParseFormula(Source(fa)); err != nil {
+	if _, err := gemlang.ParseFormula(gemlang.Source(fa)); err != nil {
 		t.Errorf("ForAllIn source does not reparse: %v", err)
 	}
 	eu := logic.ExistsUniqueIn{Var: "x", Refs: refs, Body: logic.Enables{X: "x", Y: "y"}}
-	if _, err := ParseFormula(Source(eu)); err != nil {
+	if _, err := gemlang.ParseFormula(gemlang.Source(eu)); err != nil {
 		t.Errorf("ExistsUniqueIn source does not reparse: %v", err)
 	}
 }
 
 func TestFormatElementWithoutEvents(t *testing.T) {
-	s, err := Parse("ELEMENT Bare END")
+	s, err := gemlang.Parse("ELEMENT Bare END")
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Format(s)
-	if _, err := Parse(out); err != nil {
+	out := gemlang.Format(s)
+	if _, err := gemlang.Parse(out); err != nil {
 		t.Errorf("bare element format does not reparse: %v\n%s", err, out)
 	}
 }

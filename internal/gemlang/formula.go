@@ -39,6 +39,10 @@ import (
 //	term       := var | var "." param | INT | STRING | TRUE | FALSE
 //	relop      := "=" | "!=" | "<" | "<=" | ">" | ">="
 func (p *parser) parseFormula(owner string) (logic.Formula, error) {
+	if err := p.enterFormula(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	return p.parseIff(owner)
 }
 
@@ -115,6 +119,10 @@ func (p *parser) parseAnd(owner string) (logic.Formula, error) {
 }
 
 func (p *parser) parseUnary(owner string) (logic.Formula, error) {
+	if err := p.enterFormula(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	switch {
 	case p.peek().Is("~"):
 		p.next()

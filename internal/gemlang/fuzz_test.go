@@ -1,0 +1,44 @@
+package gemlang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gem/internal/gemlang"
+)
+
+// FuzzParse drives the parser with arbitrary byte strings. The parser
+// must either return a spec or an error — never panic and never recurse
+// without bound (deeply nested formulas are cut off by maxFormulaDepth).
+// Inputs that parse must also round-trip through the formatter.
+func FuzzParse(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.gem"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range seeds {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("SPEC s\nELEMENT a EVENTS Ping END\n")
+	f.Add(`SPEC s ELEMENT a EVENTS P END RESTRICTION "r": (FORALL x: P) occurred(x) ;`)
+	f.Add("SPEC s\nELEMENT a EVENTS P(v: INTEGER) END\nTHREAD t = (a.P)\n")
+	f.Add("SPEC s RESTRICTION \"n\": ~~~~~((TRUE)) ;")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := gemlang.Parse(src)
+		if err != nil {
+			return
+		}
+		// A successfully parsed spec must survive position-tracked
+		// parsing and formatting without panicking.
+		if _, _, err := gemlang.ParseWithPositions(src); err != nil {
+			t.Fatalf("Parse accepted but ParseWithPositions rejected: %v", err)
+		}
+		_ = gemlang.Format(s)
+	})
+}

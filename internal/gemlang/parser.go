@@ -74,6 +74,21 @@ type parser struct {
 	out        *spec.Spec
 	elemTypes  map[string]*typeDef
 	groupTypes map[string]*typeDef
+	marks      *SourceMap // non-nil only for ParseWithPositions
+	depth      int        // formula nesting depth (guards the recursion)
+}
+
+// maxFormulaDepth bounds formula nesting. Recursive-descent parsing uses
+// the Go stack, so pathological inputs (fuzzing found kilobytes of "~"
+// or "(") must be rejected, not crash the process.
+const maxFormulaDepth = 512
+
+func (p *parser) enterFormula() error {
+	p.depth++
+	if p.depth > maxFormulaDepth {
+		return p.errf("formula nesting exceeds %d levels", maxFormulaDepth)
+	}
+	return nil
 }
 
 func (p *parser) peek() Token  { return p.toks[p.pos] }
@@ -145,6 +160,9 @@ func (p *parser) parseSpec() error {
 			if err := p.expect(";"); err != nil {
 				return err
 			}
+			if p.marks != nil {
+				p.marks.mark(p.marks.Restrictions, name, t)
+			}
 			p.out.AddRestriction(name, f)
 		default:
 			return p.errf("unexpected %s at top level", t)
@@ -156,6 +174,7 @@ func (p *parser) parseSpec() error {
 // --- elements -------------------------------------------------------------
 
 func (p *parser) parseElementDecl() error {
+	at := p.peek()
 	p.next() // ELEMENT
 	if p.peek().Is("TYPE") {
 		p.next()
@@ -164,6 +183,9 @@ func (p *parser) parseElementDecl() error {
 	name, err := p.parseDotted()
 	if err != nil {
 		return err
+	}
+	if p.marks != nil {
+		p.marks.mark(p.marks.Elements, name, at)
 	}
 	if p.peek().Is(":") {
 		p.next()
@@ -247,6 +269,7 @@ func (p *parser) instantiateElementType(name string) error {
 		out:        p.out,
 		elemTypes:  p.elemTypes,
 		groupTypes: p.groupTypes,
+		marks:      p.marks,
 	}
 	decl, err := sub.parseElementBody(name)
 	if err != nil {
@@ -279,6 +302,7 @@ func (p *parser) parseElementBody(name string) (*spec.ElementDecl, error) {
 		p.next()
 		n := 0
 		for !p.peek().Is("END") && p.peek().Kind != TokEOF {
+			at := p.peek()
 			label := ""
 			if p.peek().Kind == TokString {
 				label = p.next().Text
@@ -296,6 +320,9 @@ func (p *parser) parseElementBody(name string) (*spec.ElementDecl, error) {
 			n++
 			if label == "" {
 				label = fmt.Sprintf("%s.restriction-%d", name, n)
+			}
+			if p.marks != nil {
+				p.marks.mark(p.marks.Restrictions, label, at)
 			}
 			decl.Restrictions = append(decl.Restrictions, spec.Restriction{Name: label, F: f})
 		}
@@ -340,6 +367,7 @@ func (p *parser) parseEventClassDecl() (spec.EventClassDecl, error) {
 // --- groups ---------------------------------------------------------------
 
 func (p *parser) parseGroupDecl() error {
+	at := p.peek()
 	p.next() // GROUP
 	if p.peek().Is("TYPE") {
 		p.next()
@@ -361,6 +389,9 @@ func (p *parser) parseGroupDecl() error {
 	name, err := p.parseDotted()
 	if err != nil {
 		return err
+	}
+	if p.marks != nil {
+		p.marks.mark(p.marks.Groups, name, at)
 	}
 	if p.peek().Is(":") {
 		p.next()
@@ -400,6 +431,7 @@ func (p *parser) instantiateGroupType(name string) error {
 		out:        p.out,
 		elemTypes:  p.elemTypes,
 		groupTypes: p.groupTypes,
+		marks:      p.marks,
 	}
 	decl, err := sub.parseGroupBody(name, nil)
 	if err != nil {
@@ -487,6 +519,7 @@ func (p *parser) parseGroupBody(name string, _ []string) (*spec.GroupDecl, error
 		p.next()
 		n := 0
 		for !p.peek().Is("END") && p.peek().Kind != TokEOF {
+			at := p.peek()
 			label := ""
 			if p.peek().Kind == TokString {
 				label = p.next().Text
@@ -505,6 +538,9 @@ func (p *parser) parseGroupBody(name string, _ []string) (*spec.GroupDecl, error
 			if label == "" {
 				label = fmt.Sprintf("%s.restriction-%d", name, n)
 			}
+			if p.marks != nil {
+				p.marks.mark(p.marks.Restrictions, label, at)
+			}
 			decl.Restrictions = append(decl.Restrictions, spec.Restriction{Name: label, F: f})
 		}
 	}
@@ -514,10 +550,14 @@ func (p *parser) parseGroupBody(name string, _ []string) (*spec.GroupDecl, error
 // --- threads ----------------------------------------------------------
 
 func (p *parser) parseThreadDecl() error {
+	at := p.peek()
 	p.next() // THREAD
 	name, err := p.expectIdent()
 	if err != nil {
 		return err
+	}
+	if p.marks != nil {
+		p.marks.mark(p.marks.Threads, name, at)
 	}
 	if err := p.expect("="); err != nil {
 		return err

@@ -1,10 +1,11 @@
-package gemlang
+package gemlang_test
 
 import (
 	"strings"
 	"testing"
 
 	"gem/internal/core"
+	"gem/internal/gemlang"
 	"gem/internal/legal"
 )
 
@@ -33,7 +34,7 @@ ELEMENT Plain : Variable
 `
 
 func TestParsePaperVariable(t *testing.T) {
-	s, err := Parse(paperVariableSrc)
+	s, err := gemlang.Parse(paperVariableSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestParsePaperVariable(t *testing.T) {
 // TestParsedVariableRestrictionSemantics checks that the parsed
 // restriction actually enforces reads-last-assign on computations.
 func TestParsedVariableRestrictionSemantics(t *testing.T) {
-	s, err := Parse(paperVariableSrc)
+	s, err := gemlang.Parse(paperVariableSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ GROUP G2 MEMBERS(EL4, EL5) END
 GROUP G3 MEMBERS(EL3, EL4) END
 GROUP G4 MEMBERS(EL1) END
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ GROUP Abstraction MEMBERS(Datum, Oper) PORTS(Oper.Start)
     PREREQ(Oper.Start -> Oper.Finish) ;
 END
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ GROUP TYPE Monitor
 END
 GROUP m1 : Monitor
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ ELEMENT u EVENTS Read FinishRead END
 ELEMENT control EVENTS ReqRead StartRead END
 THREAD piRW = (u.Read :: control.ReqRead :: control.StartRead :: u.FinishRead)
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ ELEMENT X EVENTS A B END
 RESTRICTION "a-before-b": (FORALL a: X.A, b: X.B) a => b ;
 RESTRICTION TRUE ;
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			_, err := Parse(tt.src)
+			_, err := gemlang.Parse(tt.src)
 			if err == nil || !strings.Contains(err.Error(), tt.want) {
 				t.Errorf("Parse error = %v, want containing %q", err, tt.want)
 			}
@@ -243,7 +244,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseErrorsCarryPositions(t *testing.T) {
-	_, err := Parse("ELEMENT X EVENTS A\nRESTRICTIONS")
+	_, err := gemlang.Parse("ELEMENT X EVENTS A\nRESTRICTIONS")
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -261,7 +262,7 @@ ELEMENT TYPE Cell(t)
 END
 ELEMENT c1 : Cell(INTEGER)
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ ELEMENT g.lock EVENTS lock END
 GROUP TYPE T MEMBERS(lock) PORTS(lock.lock) END
 GROUP g : T
 `
-	s, err := Parse(src)
+	s, err := gemlang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}

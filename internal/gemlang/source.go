@@ -1,0 +1,60 @@
+package gemlang
+
+import "gem/internal/spec"
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// SourceMap records where the declarations of a parsed specification
+// appear in the source text, keyed by declared name. Restrictions are
+// keyed by their (label or generated) name; for declarations stamped out
+// of a type, positions point into the type body (the paper's
+// text-substitution semantics: the instance *is* the substituted text).
+// The first declaration of a name wins.
+type SourceMap struct {
+	Elements     map[string]Pos
+	Groups       map[string]Pos
+	Threads      map[string]Pos
+	Restrictions map[string]Pos
+}
+
+func newSourceMap() *SourceMap {
+	return &SourceMap{
+		Elements:     make(map[string]Pos),
+		Groups:       make(map[string]Pos),
+		Threads:      make(map[string]Pos),
+		Restrictions: make(map[string]Pos),
+	}
+}
+
+func (m *SourceMap) mark(table map[string]Pos, name string, t Token) {
+	if m == nil {
+		return
+	}
+	if _, ok := table[name]; !ok {
+		table[name] = Pos{Line: t.Line, Col: t.Col}
+	}
+}
+
+// ParseWithPositions is Parse plus a SourceMap locating each declaration,
+// for position-annotated diagnostics (gemlint).
+func ParseWithPositions(src string) (*spec.Spec, *SourceMap, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{
+		toks:       toks,
+		out:        spec.New("spec"),
+		elemTypes:  make(map[string]*typeDef),
+		groupTypes: make(map[string]*typeDef),
+		marks:      newSourceMap(),
+	}
+	if err := p.parseSpec(); err != nil {
+		return nil, nil, err
+	}
+	return p.out, p.marks, nil
+}

@@ -99,6 +99,13 @@ type Options struct {
 	SkipRestrictions bool
 	// MaxViolations stops after this many violations (0 = collect all).
 	MaxViolations int
+	// Prelint runs the gemlint static analyzer over the specification (a
+	// memoized, computation-independent pass) and short-circuits the
+	// restrictions it proved statically unsatisfiable whenever the
+	// computation activates them, skipping their history enumeration.
+	// The verdict and the set of failing restrictions are exactly the
+	// dynamic check's; only the violation messages differ.
+	Prelint bool
 }
 
 // Check verifies that the computation is legal with respect to the
@@ -127,7 +134,17 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 		return res
 	}
 	rs := s.Restrictions()
-	for i, cx := range restrictionCounterexamples(s, c, opts) {
+	var pre []*Violation
+	if opts.Prelint {
+		pre = prelintViolations(s, c, rs)
+	}
+	for i, cx := range restrictionCounterexamples(s, c, opts, pre) {
+		if pre != nil && pre[i] != nil {
+			if !add(*pre[i]) {
+				return res
+			}
+			continue
+		}
 		if cx != nil {
 			v := Violation{
 				Kind:        RestrictionViolation,
@@ -150,10 +167,14 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 // declaration order — a parallel check reports the same violations, in
 // the same order, with the same first-failure restriction index as the
 // sequential one. All restrictions share the computation's memoized
-// history lattice, which is enumerated at most once.
-func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options) []*logic.Counterexample {
+// history lattice, which is enumerated at most once. Restrictions with a
+// non-nil pre entry were already refuted by the lint pre-pass and are
+// not evaluated (they count against the violation budget in order, like
+// a found violation).
+func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options, pre []*Violation) []*logic.Counterexample {
 	rs := s.Restrictions()
 	cxs := make([]*logic.Counterexample, len(rs))
+	skip := func(i int) bool { return pre != nil && pre[i] != nil }
 	w := logic.Workers(opts.Check.Parallelism, len(rs))
 	if w <= 1 {
 		// Sequential path: stop at the violation budget like the historical
@@ -161,8 +182,10 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options)
 		budget := opts.MaxViolations
 		found := 0
 		for i, r := range rs {
-			cxs[i] = logic.Holds(r.F, c, opts.Check)
-			if cxs[i] != nil {
+			if !skip(i) {
+				cxs[i] = logic.Holds(r.F, c, opts.Check)
+			}
+			if cxs[i] != nil || skip(i) {
 				found++
 				if budget > 0 && found >= budget {
 					break
@@ -183,6 +206,9 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options)
 				i := int(next.Add(1) - 1)
 				if i >= len(rs) {
 					return
+				}
+				if skip(i) {
+					continue
 				}
 				cxs[i] = logic.Holds(rs[i].F, c, inner)
 			}

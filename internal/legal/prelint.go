@@ -1,0 +1,47 @@
+package legal
+
+import (
+	"fmt"
+
+	"gem/internal/core"
+	"gem/internal/lint"
+	"gem/internal/spec"
+)
+
+// prelintViolations runs the static analyzer over the specification
+// (memoized per Spec) and, for each restriction lint proved statically
+// unsatisfiable (a prerequisite cycle or an access-forbidden required
+// edge), applies the cheap activation test to the computation: an event
+// of the constraint's target class with no matching source enabler is a
+// witness that the restriction's exactly-one-enabler conjunct fails, so
+// the exponential history enumeration for that restriction can be
+// skipped with the verdict it would have produced. Restrictions without
+// a witness fall through to the dynamic check (nil entry), so the
+// pre-pass never changes a verdict — it only reaches it faster.
+func prelintViolations(s *spec.Spec, c *core.Computation, rs []spec.OwnedRestriction) []*Violation {
+	doomed := lint.ForSpec(s).Doomed()
+	if len(doomed) == 0 {
+		return nil
+	}
+	out := make([]*Violation, len(rs))
+	for _, ec := range doomed {
+		for i, r := range rs {
+			if r.Owner != ec.Owner || r.Name != ec.Restriction {
+				continue
+			}
+			if out[i] == nil {
+				if ev := ec.MissingEnabler(c); ev != nil {
+					out[i] = &Violation{
+						Kind:        RestrictionViolation,
+						Restriction: r.Name,
+						Owner:       r.Owner,
+						Message: fmt.Sprintf("statically unsatisfiable (%s): event %s has no enabling %s event",
+							ec.Code, ev.Name(), ec.String()),
+					}
+				}
+			}
+			break
+		}
+	}
+	return out
+}

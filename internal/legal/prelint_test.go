@@ -1,0 +1,154 @@
+package legal_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gem/internal/core"
+	"gem/internal/legal"
+	"gem/internal/lint"
+	"gem/internal/logic"
+	"gem/internal/problems/boundedbuf"
+	"gem/internal/problems/rw"
+	"gem/internal/spec"
+)
+
+// violationKeys projects a result onto the (kind, owner, restriction)
+// triples that identify which checks failed, ignoring messages (the
+// prelint short-circuit is allowed to word violations differently).
+func violationKeys(r legal.Result) []string {
+	keys := make([]string, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		keys = append(keys, fmt.Sprintf("%d/%s/%s", v.Kind, v.Owner, v.Restriction))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// checkAgreement runs the legality check with and without the lint
+// pre-pass and asserts the verdict and the set of failing restrictions
+// are identical.
+func checkAgreement(t *testing.T, name string, s *spec.Spec, c *core.Computation) legal.Result {
+	t.Helper()
+	plain := legal.Check(s, c, legal.Options{})
+	pre := legal.Check(s, c, legal.Options{Prelint: true})
+	if plain.Legal() != pre.Legal() {
+		t.Fatalf("%s: prelint changed the verdict: plain legal=%v, prelint legal=%v",
+			name, plain.Legal(), pre.Legal())
+	}
+	pk, ck := violationKeys(plain), violationKeys(pre)
+	if len(pk) != len(ck) {
+		t.Fatalf("%s: prelint changed the violation set:\nplain:   %v\nprelint: %v", name, pk, ck)
+	}
+	for i := range pk {
+		if pk[i] != ck[i] {
+			t.Fatalf("%s: prelint changed the violation set:\nplain:   %v\nprelint: %v", name, pk, ck)
+		}
+	}
+	return plain
+}
+
+func buildBoundedBuf(t *testing.T) (*spec.Spec, *core.Computation) {
+	t.Helper()
+	w := boundedbuf.Workload{Producers: 1, Consumers: 1, ItemsPerProducer: 2, Capacity: 2}
+	s, err := boundedbuf.ProblemSpec(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := boundedbuf.BuildComputation(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// TestPrelintAgreesOnCleanSpecs: the pre-pass is a no-op on the shipped
+// specs (zero lint errors), so verdicts trivially agree and stay legal.
+func TestPrelintAgreesOnCleanSpecs(t *testing.T) {
+	s, c := buildBoundedBuf(t)
+	res := checkAgreement(t, "boundedbuf", s, c)
+	if !res.Legal() {
+		t.Fatalf("clean boundedbuf spec judged illegal: %v", res.Violations)
+	}
+}
+
+// TestPrelintAgreesOnPrereqCycleMutant: adding the reverse prerequisite
+// Fetch -> Deposit alongside Deposit -> Fetch makes both classes
+// statically doomed (GEM004). The pre-pass must short-circuit exactly
+// the restrictions the dynamic evaluation would fail.
+func TestPrelintAgreesOnPrereqCycleMutant(t *testing.T) {
+	s, c := buildBoundedBuf(t)
+	s.AddRestriction("mutant-fetch-first",
+		logic.Prereq(core.Ref(boundedbuf.BufferElement, "Fetch"), core.Ref(boundedbuf.BufferElement, "Deposit")))
+	s.AddRestriction("mutant-deposit-first",
+		logic.Prereq(core.Ref(boundedbuf.BufferElement, "Deposit"), core.Ref(boundedbuf.BufferElement, "Fetch")))
+
+	lres := lint.Analyze(s)
+	if len(lres.Doomed()) == 0 {
+		t.Fatal("cycle mutant: lint marked no constraint doomed (GEM004 missed)")
+	}
+
+	res := checkAgreement(t, "cycle-mutant", s, c)
+	// Satellite (d): a lint error on the mutant implies the dynamic
+	// legality check also fails.
+	if res.Legal() {
+		t.Fatal("cycle mutant lints with errors but the dynamic check passed")
+	}
+}
+
+// TestPrelintAgreesOnAccessMutant: requiring a user event to directly
+// enable an event inside the db group's non-port member violates the
+// Section 4 access relation (GEM005); the dynamic check fails the same
+// restriction because no such enable edge can exist in the computation.
+func TestPrelintAgreesOnAccessMutant(t *testing.T) {
+	s, err := rw.ProblemSpec([]string{"u1", "w1"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddRestriction("mutant-direct-read",
+		logic.Prereq(core.Ref("u1", "Read"), core.Ref("db.data", "Getval")))
+	c, err := rw.BuildComputation(s, []rw.Transaction{
+		{User: "u1", Write: false, After: -1},
+		{User: "w1", Write: true, Value: 7, After: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lres := lint.Analyze(s)
+	var sawAccess bool
+	for _, d := range lres.Errors() {
+		if d.Code == lint.CodeAccessForbidden {
+			sawAccess = true
+		}
+	}
+	if !sawAccess {
+		t.Fatal("access mutant: lint reported no GEM005 error")
+	}
+
+	res := checkAgreement(t, "access-mutant", s, c)
+	if res.Legal() {
+		t.Fatal("access mutant lints with errors but the dynamic check passed")
+	}
+}
+
+// TestPrelintAgreesOnDanglingMutant: a restriction quantifying over an
+// undeclared element is a lint error (GEM001) but passes dynamically
+// (its domain is empty), so the pre-pass must NOT short-circuit it —
+// doing so would flip a legal verdict to illegal.
+func TestPrelintAgreesOnDanglingMutant(t *testing.T) {
+	s, c := buildBoundedBuf(t)
+	s.AddRestriction("mutant-phantom",
+		logic.ForAll{Var: "x", Ref: core.Ref("phantom", "Ev"), Body: logic.Occurred{Var: "x"}})
+
+	lres := lint.Analyze(s)
+	if len(lres.Errors()) == 0 {
+		t.Fatal("dangling mutant: lint reported no error")
+	}
+
+	res := checkAgreement(t, "dangling-mutant", s, c)
+	if !res.Legal() {
+		t.Fatalf("dangling mutant passes dynamically but was judged illegal: %v", res.Violations)
+	}
+}

@@ -1,0 +1,63 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gem/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current lint output")
+
+// TestGolden runs the linter over every defective spec in testdata/ and
+// compares the rendered diagnostics against the sibling .golden file.
+// Regenerate with: go test ./internal/lint -run Golden -update
+func TestGolden(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.gem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) < 8 {
+		t.Fatalf("expected at least 8 fixtures in testdata/, found %d", len(fixtures))
+	}
+	for _, path := range fixtures {
+		name := strings.TrimSuffix(filepath.Base(path), ".gem")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := lint.AnalyzeSource(string(src))
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			var sb strings.Builder
+			lint.Print(&sb, filepath.Base(path), res.Diags)
+			got := sb.String()
+
+			// Every fixture is named after the code it must surface.
+			wantCode := strings.ToUpper(name[:strings.Index(name, "_")])
+			if !strings.Contains(got, wantCode) {
+				t.Errorf("fixture %s did not surface %s; diagnostics:\n%s", path, wantCode, got)
+			}
+
+			goldenPath := strings.TrimSuffix(path, ".gem") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

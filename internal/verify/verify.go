@@ -255,7 +255,9 @@ func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts lo
 		return Result{ProjectionErr: err}
 	}
 	thread.Apply(proj.Comp, problem.Threads()...)
-	res := legal.Check(problem, proj.Comp, legal.Options{Check: opts})
+	// Prelint: the gemlint static pre-pass short-circuits restrictions it
+	// proved statically unsatisfiable (same verdict, no enumeration).
+	res := legal.Check(problem, proj.Comp, legal.Options{Check: opts, Prelint: true})
 	return Result{Projection: proj, Legality: res}
 }
 

@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite under the race
+# CI gate: vet, lint, build, and run the full test suite under the race
 # detector (the parallel check engine is concurrency-heavy, so -race is
 # mandatory, not optional). Run from the repository root:
 #
@@ -10,8 +10,16 @@ cd "$(dirname "$0")/.."
 
 echo "==> go vet ./..."
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck ./..."
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed, skipping"
+fi
 echo "==> go build ./..."
 go build ./...
+echo "==> gemlint examples/specs"
+go run ./cmd/gemlint examples/specs/*.gem
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> ok"
