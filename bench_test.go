@@ -250,15 +250,24 @@ func BenchmarkE6ProblemSpecs(b *testing.B) {
 
 // BenchmarkE7Matrix runs the full Section 11 verification matrix: three
 // languages × three problems, each exhaustively explored and checked
-// with the sat methodology. j=1 is the sequential engine (materialize,
+// with the sat methodology. j=1 is the sequential pipeline (materialize,
 // then check); higher j streams runs into a sat-check worker pool with
-// the shared history-lattice cache.
+// the shared history-lattice cache. The engine=seq variant pins the
+// historical sequence cascade; the plain j entries use the default auto
+// engine (lattice fixpoint evaluation where the fragment allows).
 func BenchmarkE7Matrix(b *testing.B) {
-	for _, j := range []int{1, 4} {
-		j := j
-		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts check.Options
+	}{
+		{"j1", check.Options{Parallelism: 1}},
+		{"j4", check.Options{Parallelism: 4}},
+		{"j1/engine=seq", check.Options{Parallelism: 1, Engine: logic.EngineSeq}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if err := check.RunMatrix(io.Discard, check.Options{Parallelism: j}); err != nil {
+				if err := check.RunMatrix(io.Discard, cfg.opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -427,23 +436,66 @@ func BenchmarkSweepHistories(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepMonitorExploration scales the Section 9 exploration with
-// the number of readers (1 writer throughout).
+// BenchmarkSweepMonitorExploration scales the Section 9 verification
+// workload with the number of readers (1 writer throughout). The monitor
+// solution is explored and projected onto the Readers/Writers problem
+// spec once, untimed; the timed region is the sat check of the spec's
+// restrictions — including the temporal readers-priority restriction —
+// over the first sweepProjections projections. The engine=seq and
+// engine=lattice sub-benchmarks pin the temporal evaluation engine; the
+// plain readers=N entries use the default auto engine (which routes the
+// priority restriction to the lattice fixpoint evaluator).
 func BenchmarkSweepMonitorExploration(b *testing.B) {
+	const sweepProjections = 16
+	corr := rw.MonitorCorrespondence()
 	for readers := 1; readers <= 3; readers++ {
 		readers := readers
-		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
-			prog := rw.NewProgram(rw.ReadersPriority, rw.Workload{Readers: readers, Writers: 1})
+		if readers == 3 && testing.Short() {
+			continue // exploring readers=3 alone takes ~13s
+		}
+		clients := make([]string, 0, readers+1)
+		for r := 1; r <= readers; r++ {
+			clients = append(clients, fmt.Sprintf("r%d", r))
+		}
+		clients = append(clients, "w1")
+		problem, err := rw.ProblemSpec(clients, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := rw.NewProgram(rw.ReadersPriority, rw.Workload{Readers: readers, Writers: 1})
+		runs, _, err := monitor.Explore(prog, monitor.ExploreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+		var comps []*core.Computation
+		for _, r := range runs {
+			if len(comps) == sweepProjections {
+				break
+			}
+			proj, err := verify.Project(r.Comp, corr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			thread.Apply(proj.Comp, problem.Threads()...)
+			comps = append(comps, proj.Comp)
+		}
+		check := func(b *testing.B, engine logic.Engine) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				runs, _, err := monitor.Explore(prog, monitor.ExploreOptions{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(runs) == 0 {
-					b.Fatal("no runs")
+				for k, c := range comps {
+					res := legal.Check(problem, c, legal.Options{Check: logic.CheckOptions{Engine: engine}})
+					if !res.Legal() {
+						b.Fatalf("projection %d: %v", k, res.Error())
+					}
 				}
 			}
-		})
+		}
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) { check(b, logic.EngineAuto) })
+		b.Run(fmt.Sprintf("readers=%d/engine=seq", readers), func(b *testing.B) { check(b, logic.EngineSeq) })
+		b.Run(fmt.Sprintf("readers=%d/engine=lattice", readers), func(b *testing.B) { check(b, logic.EngineLattice) })
 	}
 }
 

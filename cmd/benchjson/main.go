@@ -1,0 +1,214 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the repository's BENCH_<date>.json record: a host section
+// (GOMAXPROCS and NumCPU, so single-CPU hosts are identifiable in the
+// benchmark trajectory, plus goos/goarch/cpu parsed from the benchmark
+// header), the benchmark table, and — when -prev names an earlier
+// record — a delta section with per-benchmark new/old ratios for ns/op
+// and B/op. The previous record may be in this format or in the
+// original bare-array format the awk pipeline emitted.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Host identifies the machine a record was taken on.
+type Host struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+// Delta compares one benchmark against the previous record; ratios are
+// new/old, so values below 1 are improvements.
+type Delta struct {
+	Name       string   `json:"name"`
+	NsRatio    *float64 `json:"ns_ratio,omitempty"`
+	BytesRatio *float64 `json:"bytes_ratio,omitempty"`
+}
+
+// Report is the full BENCH_<date>.json document.
+type Report struct {
+	Host       Host    `json:"host"`
+	Benchmarks []Bench `json:"benchmarks"`
+	DeltaVs    string  `json:"delta_vs,omitempty"`
+	Delta      []Delta `json:"delta,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	prev := fs.String("prev", "", "previous BENCH_*.json record to compute the delta section against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := parse(in)
+	if err != nil {
+		return err
+	}
+	report.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.Host.NumCPU = runtime.NumCPU()
+	if *prev != "" {
+		old, err := loadPrevious(*prev)
+		if err != nil {
+			return err
+		}
+		report.DeltaVs = filepath.Base(*prev)
+		report.Delta = deltas(report.Benchmarks, old)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// parse reads `go test -bench` text output: header lines (goos:, cpu:,
+// …) fill the host section, Benchmark lines become entries. The -P
+// GOMAXPROCS suffix go test appends to benchmark names when P != 1 is
+// stripped so records taken at different parallelism still match.
+func parse(in io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Host.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Host.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.Host.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return report, nil
+}
+
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: stripProcSuffix(fields[0]), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = &v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		}
+	}
+	return b, true
+}
+
+// stripProcSuffix removes go test's trailing "-P" parallelism marker
+// (e.g. BenchmarkE7Matrix/j4-8 → BenchmarkE7Matrix/j4).
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// loadPrevious reads an earlier record in either format: the current
+// {"host": …, "benchmarks": […]} document or the original bare array.
+func loadPrevious(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var old []Bench
+		if err := json.Unmarshal(data, &old); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return old, nil
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return old.Benchmarks, nil
+}
+
+// deltas pairs current benchmarks with the previous record by name;
+// benchmarks present on only one side are omitted (renamed or new
+// benchmarks have no meaningful ratio).
+func deltas(cur, old []Bench) []Delta {
+	prev := make(map[string]Bench, len(old))
+	for _, b := range old {
+		prev[b.Name] = b
+	}
+	var out []Delta
+	for _, b := range cur {
+		p, ok := prev[b.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: b.Name}
+		if b.NsPerOp != nil && p.NsPerOp != nil && *p.NsPerOp > 0 {
+			r := *b.NsPerOp / *p.NsPerOp
+			d.NsRatio = &r
+		}
+		if b.BytesPerOp != nil && p.BytesPerOp != nil && *p.BytesPerOp > 0 {
+			r := *b.BytesPerOp / *p.BytesPerOp
+			d.BytesRatio = &r
+		}
+		if d.NsRatio != nil || d.BytesRatio != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}

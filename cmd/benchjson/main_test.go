@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: gem
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE1GroupAccess	190899	6358 ns/op	624 B/op	19 allocs/op
+BenchmarkE7Matrix/j1-4	1	3034647448 ns/op	2454188592 B/op	23868769 allocs/op
+BenchmarkSweepHistories/chains=1	4688554	261.7 ns/op	48 B/op	6 allocs/op
+PASS
+ok  	gem	42.000s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Host.GOOS != "linux" || report.Host.GOARCH != "amd64" {
+		t.Errorf("host header not parsed: %+v", report.Host)
+	}
+	if !strings.Contains(report.Host.CPU, "Xeon") {
+		t.Errorf("cpu header not parsed: %q", report.Host.CPU)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	// The -4 GOMAXPROCS suffix is stripped; the sweep's name keeps its
+	// =1 parameter (not a proc suffix — it follows '=', not '-').
+	if got := report.Benchmarks[1].Name; got != "BenchmarkE7Matrix/j1" {
+		t.Errorf("proc suffix not stripped: %q", got)
+	}
+	if got := report.Benchmarks[2].Name; got != "BenchmarkSweepHistories/chains=1" {
+		t.Errorf("parameterized name mangled: %q", got)
+	}
+	if b := report.Benchmarks[0]; b.Iterations != 190899 || *b.NsPerOp != 6358 || *b.BytesPerOp != 624 || *b.AllocsPerOp != 19 {
+		t.Errorf("benchmark fields wrong: %+v", b)
+	}
+	if v := *report.Benchmarks[2].NsPerOp; v != 261.7 {
+		t.Errorf("fractional ns/op = %v, want 261.7", v)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("input without benchmark lines must be rejected")
+	}
+}
+
+// TestDeltaAgainstBareArray: the previous record may be in the original
+// bare-array format; ratios are new/old.
+func TestDeltaAgainstBareArray(t *testing.T) {
+	prev := filepath.Join(t.TempDir(), "BENCH_old.json")
+	old := `[
+  {"name": "BenchmarkE1GroupAccess", "iterations": 100, "ns_per_op": 12716, "bytes_per_op": 1248},
+  {"name": "BenchmarkGone", "iterations": 1, "ns_per_op": 5}
+]`
+	if err := os.WriteFile(prev, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-prev", prev}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Host.GoMaxProcs < 1 || report.Host.NumCPU < 1 {
+		t.Errorf("host procs not recorded: %+v", report.Host)
+	}
+	if report.DeltaVs != "BENCH_old.json" {
+		t.Errorf("delta_vs = %q", report.DeltaVs)
+	}
+	if len(report.Delta) != 1 || report.Delta[0].Name != "BenchmarkE1GroupAccess" {
+		t.Fatalf("delta = %+v, want exactly the shared benchmark", report.Delta)
+	}
+	if got := *report.Delta[0].NsRatio; got != 0.5 {
+		t.Errorf("ns_ratio = %v, want 0.5", got)
+	}
+	if got := *report.Delta[0].BytesRatio; got != 0.5 {
+		t.Errorf("bytes_ratio = %v, want 0.5", got)
+	}
+}
+
+// TestDeltaAgainstCurrentFormat: round-trip — a record benchjson wrote
+// is accepted as the previous record.
+func TestDeltaAgainstCurrentFormat(t *testing.T) {
+	dir := t.TempDir()
+	prev := filepath.Join(dir, "BENCH_a.json")
+	var first bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleBench), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prev, first.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-prev", prev}, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Delta) != 3 {
+		t.Fatalf("delta has %d entries, want 3", len(report.Delta))
+	}
+	for _, d := range report.Delta {
+		if *d.NsRatio != 1 {
+			t.Errorf("%s: self-delta ns_ratio = %v, want 1", d.Name, *d.NsRatio)
+		}
+	}
+}
+
+func TestMissingPreviousFileErrors(t *testing.T) {
+	err := run([]string{"-prev", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sampleBench), &bytes.Buffer{})
+	if err == nil {
+		t.Error("missing previous record must be an error")
+	}
+}

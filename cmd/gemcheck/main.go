@@ -7,7 +7,10 @@
 //	gemcheck distributed — dbupdate convergence and Life equivalence (E8)
 //
 // The -j flag (default NumCPU) sets the checking parallelism for the rw
-// matrix; -j1 reproduces the sequential engine exactly.
+// matrix; -j1 reproduces the sequential engine exactly. The -engine flag
+// selects the temporal evaluation engine (auto, lattice or seq; all
+// report identical verdicts), and -cpuprofile/-memprofile write pprof
+// profiles for performance work.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"gem/internal/problems/dbupdate"
 	"gem/internal/problems/life"
 	"gem/internal/problems/rw"
+	"gem/internal/profiling"
 	"gem/internal/spec"
 )
 
@@ -40,24 +44,40 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gemcheck", flag.ContinueOnError)
 	j := fs.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
+	engineName := fs.String("engine", "auto", "temporal evaluation engine: auto, lattice or seq")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: gemcheck [-j N] {access|histories|rw|distributed}")
+		return fmt.Errorf("usage: gemcheck [-j N] [-engine E] {access|histories|rw|distributed}")
 	}
+	engine, err := logic.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 	switch fs.Arg(0) {
 	case "access":
-		return accessTable()
+		err = accessTable()
 	case "histories":
-		return histories()
+		err = histories()
 	case "rw":
-		return rwMatrix(*j)
+		err = rwMatrix(*j, engine)
 	case "distributed":
-		return distributed()
+		err = distributed()
 	default:
 		return fmt.Errorf("unknown check %q", fs.Arg(0))
 	}
+	if err != nil {
+		return err
+	}
+	return profiling.WriteHeap(*memprofile)
 }
 
 // prelint runs the gemlint static analyses over a problem specification
@@ -137,7 +157,7 @@ func histories() error {
 // property set. With j > 1 each workload's runs are streamed out of the
 // simulator into a pool of property-checking workers; the aggregated
 // booleans are order-independent, so the table is identical at any j.
-func rwMatrix(j int) error {
+func rwMatrix(j int, engine logic.Engine) error {
 	// Pre-flight: the Readers/Writers problem specification itself must
 	// be statically well-formed before any variant is explored.
 	if s, err := rw.ProblemSpec([]string{"r1", "r2", "w1"}, true); err != nil {
@@ -158,13 +178,14 @@ func rwMatrix(j int) error {
 				go func() {
 					defer wg.Done()
 					for comp := range runs {
-						if logic.Holds(rw.MutualExclusionProp(), comp, logic.CheckOptions{}) != nil {
+						opts := logic.CheckOptions{Engine: engine}
+						if logic.Holds(rw.MutualExclusionProp(), comp, opts) != nil {
 							meViol.Store(true)
 						}
-						if logic.Holds(rw.ReadersPriorityProp(), comp, logic.CheckOptions{}) != nil {
+						if logic.Holds(rw.ReadersPriorityProp(), comp, opts) != nil {
 							rpViol.Store(true)
 						}
-						if logic.Holds(rw.WritersPriorityProp(), comp, logic.CheckOptions{}) != nil {
+						if logic.Holds(rw.WritersPriorityProp(), comp, opts) != nil {
 							wpViol.Store(true)
 						}
 						if logic.HoldsAtFull(rw.ReadsOverlap(), comp) == nil {

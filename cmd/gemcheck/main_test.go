@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestChecks(t *testing.T) {
 	for _, sub := range []string{"access", "histories", "rw", "distributed"} {
@@ -10,6 +14,43 @@ func TestChecks(t *testing.T) {
 				t.Fatalf("gemcheck %s: %v", sub, err)
 			}
 		})
+	}
+}
+
+// TestEngineFlagRoundTrip: every engine name the flag documents is
+// accepted and runs the rw matrix to the same successful completion;
+// unknown names are rejected at flag-handling time, before any work.
+func TestEngineFlagRoundTrip(t *testing.T) {
+	for _, engine := range []string{"auto", "lattice", "seq"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			if err := run([]string{"-engine", engine, "-j", "1", "rw"}); err != nil {
+				t.Fatalf("gemcheck -engine %s rw: %v", engine, err)
+			}
+		})
+	}
+	if err := run([]string{"-engine", "warp", "rw"}); err == nil {
+		t.Error("unknown engine name must be rejected")
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile produce non-empty pprof
+// files, and an unwritable profile path fails the run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-cpuprofile", cpu, "-memprofile", mem, "access"}); err != nil {
+		t.Fatalf("gemcheck with profiles: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
+	}
+	bad := filepath.Join(dir, "no-such-dir", "cpu.pprof")
+	if err := run([]string{"-cpuprofile", bad, "access"}); err == nil {
+		t.Error("unwritable cpu profile path must fail")
 	}
 }
 

@@ -9,6 +9,14 @@
 // share each computation's memoized history lattice. -j1 reproduces the
 // sequential engine exactly; any -j reports the same verdicts and the
 // same first-failure computation index.
+//
+// The -engine flag selects the temporal evaluation engine: auto (the
+// default) decides sequence-insensitive restrictions with the lattice
+// fixpoint evaluator and falls back to sequence enumeration otherwise,
+// lattice forces the fixpoint evaluator for its fragment, and seq is the
+// historical sequence engine. All engines report the same verdicts and
+// counterexamples. -cpuprofile and -memprofile write pprof profiles for
+// performance work.
 package main
 
 import (
@@ -18,19 +26,43 @@ import (
 	"runtime"
 
 	"gem/internal/check"
+	"gem/internal/logic"
+	"gem/internal/profiling"
 )
 
 func main() {
-	j := flag.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
-	flag.Parse()
-	opts := check.Options{Parallelism: *j}
-	if err := check.RunMatrix(os.Stdout, opts); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gemverify:", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gemverify", flag.ContinueOnError)
+	j := fs.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
+	engineName := fs.String("engine", "auto", "temporal evaluation engine: auto, lattice or seq")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := logic.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	opts := check.Options{Parallelism: *j, Engine: engine}
+	if err := check.RunMatrix(os.Stdout, opts); err != nil {
+		return err
 	}
 	fmt.Println("\nnegative controls (must be refuted):")
 	if err := check.RunRefutations(os.Stdout, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "gemverify:", err)
-		os.Exit(1)
+		return err
 	}
+	return profiling.WriteHeap(*memprofile)
 }

@@ -1,0 +1,72 @@
+package check
+
+import (
+	"testing"
+
+	"gem/internal/logic"
+	"gem/internal/verify"
+)
+
+// Spec-level counter-verification of the lattice fixpoint engine: every
+// shipped problem specification, checked over its exhaustively explored
+// solutions and over the failing mutants, must report identical verdicts
+// and identical counterexamples under the sequence and lattice engines.
+
+// TestMatrixEngineAgreement runs all nine matrix cells under the seq,
+// lattice and auto engines and requires the same verdict and run count
+// from each.
+func TestMatrixEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive matrix cells are slow; skipped in -short mode")
+	}
+	for _, s := range Matrix() {
+		s := s
+		t.Run(s.Problem+"/"+string(s.Language), func(t *testing.T) {
+			seq := s.Run(Options{Parallelism: 1, Engine: logic.EngineSeq})
+			if !seq.Verified {
+				t.Fatalf("cell unexpectedly failing under seq engine: %v", seq.Err)
+			}
+			for _, engine := range []logic.Engine{logic.EngineLattice, logic.EngineAuto} {
+				cell := s.Run(Options{Parallelism: 1, Engine: engine})
+				if cell.Verified != seq.Verified {
+					t.Errorf("engine %s verdict %v, seq %v (%v)", engine, cell.Verified, seq.Verified, cell.Err)
+				}
+				if cell.Runs != seq.Runs {
+					t.Errorf("engine %s checked %d runs, seq %d", engine, cell.Runs, seq.Runs)
+				}
+			}
+		})
+	}
+}
+
+// TestRefutationEngineAgreement: the failing mutants are refuted at the
+// same computation index with the same rendered counterexample under
+// every engine.
+func TestRefutationEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutant explorations are slow; skipped in -short mode")
+	}
+	for _, r := range Refutations() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			problem, comps, corr, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqIdx, seqRes := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: logic.EngineSeq})
+			if seqIdx < 0 {
+				t.Fatal("mutant not refuted under seq engine")
+			}
+			for _, engine := range []logic.Engine{logic.EngineLattice, logic.EngineAuto} {
+				idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: engine})
+				if idx != seqIdx {
+					t.Fatalf("engine %s refutes at index %d, seq at %d", engine, idx, seqIdx)
+				}
+				if res.Error().Error() != seqRes.Error().Error() {
+					t.Errorf("counterexamples differ under %s:\nseq:     %v\nengine:  %v",
+						engine, seqRes.Error(), res.Error())
+				}
+			}
+		})
+	}
+}

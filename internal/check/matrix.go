@@ -34,7 +34,16 @@ type Options struct {
 	// them one at a time. Verdicts and first-failure indices are
 	// identical either way.
 	Parallelism int
+	// Engine selects the temporal evaluation engine (auto, lattice or
+	// seq) for every sat check. All engines report the same verdicts
+	// and counterexamples; the zero value is logic.EngineAuto.
+	Engine logic.Engine
 }
+
+// streamBatch is how many computations the streaming producer groups
+// per channel send; see verify.CheckStream for why batches beat
+// per-item sends.
+const streamBatch = 16
 
 func firstOpt(opts []Options) Options {
 	if len(opts) > 0 {
@@ -101,7 +110,7 @@ func (s Scenario) Run(opts ...Options) Cell {
 		if err != nil {
 			return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
 		}
-		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{})
+		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: opt.Engine})
 		cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
 		if idx >= 0 {
 			cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
@@ -112,28 +121,38 @@ func (s Scenario) Run(opts ...Options) Cell {
 	}
 
 	// Parallel pipeline: the producer goroutine explores while the
-	// checking pool consumes. A failure stops the producer early; runs
-	// below the failing index are still checked, so the verdict and
-	// first-failure index match the sequential pipeline's.
-	ch := make(chan verify.Indexed, 4*opt.Parallelism)
+	// checking pool consumes, with computations grouped into batches so
+	// channel synchronization is off the per-run hot path. A failure
+	// stops the producer early; runs below the failing index are still
+	// checked, so the verdict and first-failure index match the
+	// sequential pipeline's.
+	ch := make(chan []verify.Indexed, 4*opt.Parallelism)
 	var stopFlag atomic.Bool
 	var produced int
 	var prodTrunc bool
 	var prodErr error
 	go func() {
 		defer close(ch)
+		batch := make([]verify.Indexed, 0, streamBatch)
 		trunc, err := s.Stream(func(c *core.Computation) bool {
 			if stopFlag.Load() {
 				return false
 			}
-			ch <- verify.Indexed{Index: produced, Comp: c}
+			batch = append(batch, verify.Indexed{Index: produced, Comp: c})
 			produced++
+			if len(batch) == streamBatch {
+				ch <- batch
+				batch = make([]verify.Indexed, 0, streamBatch)
+			}
 			return true
 		})
+		if len(batch) > 0 {
+			ch <- batch
+		}
 		prodTrunc, prodErr = trunc, err
 	}()
 	idx, res := verify.CheckStream(problem, ch, func() { stopFlag.Store(true) },
-		corr, logic.CheckOptions{Parallelism: opt.Parallelism})
+		corr, logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine})
 	cell := Cell{Scenario: s, Runs: produced, Elapsed: time.Since(start)}
 	switch {
 	case idx >= 0:
@@ -402,7 +421,8 @@ func RunRefutations(w io.Writer, opts ...Options) error {
 			}
 			continue
 		}
-		idx, _ := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Parallelism: opt.Parallelism})
+		idx, _ := verify.CheckAll(problem, comps, corr,
+			logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine})
 		if idx < 0 {
 			fmt.Fprintf(w, "%-55s NOT refuted (%d computations) — matrix broken\n", r.Name, len(comps))
 			if firstErr == nil {

@@ -126,6 +126,28 @@ func (c *Computation) Concurrent(a, b EventID) bool {
 	return a != b && !c.Temporal(a, b) && !c.Temporal(b, a)
 }
 
+// Concurrency returns per-event concurrency rows: row e has bit f set
+// iff e and f are potentially concurrent (distinct and temporally
+// unordered). Memoized on the computation; the returned slice and sets
+// must not be modified. Together with order.IsClique it decides whether
+// an event set is pairwise concurrent in O(|set| × words) instead of
+// O(|set|²) Temporal queries.
+func (c *Computation) Concurrency() []order.Bitset {
+	return c.Derived("core.concurrency", func() any {
+		n := len(c.events)
+		rows := make([]order.Bitset, n)
+		for e := 0; e < n; e++ {
+			row := order.NewBitset(n)
+			row.Fill()
+			row.Clear(e)
+			row.AndNotWith(c.reach[e])
+			row.AndNotWith(c.preds[e])
+			rows[e] = row
+		}
+		return rows
+	}).([]order.Bitset)
+}
+
 // Reach returns the strict temporal reachability sets (indexable by event
 // id). The returned slice and sets must not be modified.
 func (c *Computation) Reach() []order.Bitset { return c.reach }

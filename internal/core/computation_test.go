@@ -316,3 +316,46 @@ func TestQuickTemporalOrderMatchesReference(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQuickConcurrencyRowsMatchConcurrent cross-checks the memoized
+// per-event concurrency rows against the pairwise Concurrent predicate on
+// random computations, and verifies the rows are built exactly once.
+func TestQuickConcurrencyRowsMatchConcurrent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		b := NewBuilder()
+		ids := make([]EventID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.Event("EL"+string(rune('A'+rng.Intn(3))), "E", nil)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					b.Enable(ids[i], ids[j])
+				}
+			}
+		}
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		rows := c.Concurrency()
+		if len(rows) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rows[i].Has(j) != c.Concurrent(ids[i], ids[j]) {
+					return false
+				}
+			}
+		}
+		// Memoized: the same slice comes back on a second call.
+		again := c.Concurrency()
+		return &again[0] == &rows[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -22,6 +22,12 @@ type Lattice struct {
 
 	pairsOnce sync.Once
 	sups      [][]int32 // sups[i] = ascending indices j with histories[i] ⊑ histories[j]
+
+	stepsOnce sync.Once
+	steps     [][]int32 // steps[i] = ascending indices j one vhs step above histories[i]
+
+	orderOnce sync.Once
+	evalOrder []int32 // history indices by decreasing size
 }
 
 // latticeBuilds counts raw lattice enumerations, so tests can assert the
@@ -77,4 +83,59 @@ func (l *Lattice) Pairs(fn func(h1, h2 History) bool) {
 			}
 		}
 	}
+}
+
+// Steps returns the valid-history-sequence step relation of the lattice:
+// steps[i] lists (ascending) the indices j such that histories[j] extends
+// histories[i] by one vhs step — a non-empty, pairwise potentially
+// concurrent set of events. (Predecessor-closure of the added events is
+// automatic between ideals: an added event's predecessors cannot be among
+// the pairwise concurrent additions, so they lie in histories[i].)
+// Complete valid history sequences are exactly the maximal paths of this
+// DAG from the empty history to the full computation. Memoized; the
+// returned slices must not be modified.
+func (l *Lattice) Steps() [][]int32 {
+	l.stepsOnce.Do(func() {
+		hs := l.Histories()
+		rows := l.c.Concurrency()
+		delta := order.NewBitset(l.c.NumEvents())
+		l.steps = make([][]int32, len(hs))
+		for i, h1 := range hs {
+			for j, h2 := range hs {
+				if i == j || !h1.set.SubsetOf(h2.set) {
+					continue
+				}
+				delta.CopyFrom(h2.set)
+				delta.AndNotWith(h1.set)
+				if order.IsClique(rows, delta) {
+					l.steps[i] = append(l.steps[i], int32(j))
+				}
+			}
+		}
+	})
+	return l.steps
+}
+
+// EvalOrder returns the history indices ordered by decreasing history
+// size (ties in first-enumerated order). Every strict superset of
+// histories[i] — in particular every Steps successor — appears before i,
+// so a single pass in this order reaches the fixpoint of any
+// successor-determined recurrence (the lattice evaluation engine's □/◇
+// rules). Memoized; the returned slice must not be modified.
+func (l *Lattice) EvalOrder() []int32 {
+	l.orderOnce.Do(func() {
+		hs := l.Histories()
+		n := l.c.NumEvents()
+		// Counting sort by size, largest bucket first, stable within.
+		buckets := make([][]int32, n+1)
+		for i, h := range hs {
+			sz := h.Len()
+			buckets[sz] = append(buckets[sz], int32(i))
+		}
+		l.evalOrder = make([]int32, 0, len(hs))
+		for sz := n; sz >= 0; sz-- {
+			l.evalOrder = append(l.evalOrder, buckets[sz]...)
+		}
+	})
+	return l.evalOrder
 }

@@ -1,0 +1,27 @@
+package history
+
+import (
+	"sync"
+
+	"gem/internal/order"
+)
+
+// scratchPool recycles event-capacity bitsets used as per-step delta
+// scratch by Validate and the enumeration paths. Checking fans out across
+// goroutines (one sequence per worker), so a sync.Pool gives each worker
+// its own scratch set without a per-call allocation. Entries sized for a
+// different computation are simply dropped.
+var scratchPool sync.Pool
+
+func getScratch(n int) *order.Bitset {
+	if v := scratchPool.Get(); v != nil {
+		if b := v.(*order.Bitset); b.Cap() == n {
+			b.Reset()
+			return b
+		}
+	}
+	b := order.NewBitset(n)
+	return &b
+}
+
+func putScratch(b *order.Bitset) { scratchPool.Put(b) }

@@ -13,22 +13,34 @@ type Sequence []History
 
 // Validate checks the two vhs conditions from the paper: the sequence is
 // monotonically increasing, and any two events first occurring in the same
-// history are potentially concurrent.
+// history are potentially concurrent. The concurrency condition is decided
+// by a clique test of the step's delta against the computation's memoized
+// per-event concurrency rows, with the delta held in a pooled scratch set;
+// only on failure is the pairwise loop replayed to name the offending
+// events.
 func (s Sequence) Validate() error {
+	if len(s) < 2 {
+		return nil
+	}
+	c := s[1].Computation()
+	rows := c.Concurrency()
+	delta := getScratch(c.NumEvents())
+	defer putScratch(delta)
 	for i := 1; i < len(s); i++ {
 		if !s[i-1].PrefixOf(s[i]) {
 			return fmt.Errorf("history: step %d is not monotone", i)
 		}
-		delta := s[i].Set().Clone()
+		delta.CopyFrom(s[i].Set())
 		delta.AndNotWith(s[i-1].Set())
-		members := delta.Members()
-		c := s[i].Computation()
-		for a := 0; a < len(members); a++ {
-			for b := a + 1; b < len(members); b++ {
-				ea, eb := core.EventID(members[a]), core.EventID(members[b])
-				if !c.Concurrent(ea, eb) {
-					return fmt.Errorf("history: step %d adds ordered events %s and %s simultaneously",
-						i, c.Event(ea).Name(), c.Event(eb).Name())
+		if !order.IsClique(rows, *delta) {
+			members := delta.Members()
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					ea, eb := core.EventID(members[a]), core.EventID(members[b])
+					if !c.Concurrent(ea, eb) {
+						return fmt.Errorf("history: step %d adds ordered events %s and %s simultaneously",
+							i, c.Event(ea).Name(), c.Event(eb).Name())
+					}
 				}
 			}
 		}
@@ -76,9 +88,17 @@ func EnumerateComplete(c *core.Computation, limit int, fn func(s Sequence) bool)
 	n := c.NumEvents()
 	count := 0
 	stop := false
+	reach, preds := c.Reach(), c.Preds()
+	cmp := func(u, v int) bool {
+		return c.Temporal(core.EventID(u), core.EventID(v)) || c.Temporal(core.EventID(v), core.EventID(u))
+	}
+	// Frontier buffers are reused per recursion depth; only the history
+	// sets themselves are freshly allocated, since emitted sequences own
+	// them.
+	var frontiers [][]int
 
-	var rec func(cur order.Bitset, seq []order.Bitset)
-	rec = func(cur order.Bitset, seq []order.Bitset) {
+	var rec func(cur order.Bitset, seq []order.Bitset, depth int)
+	rec = func(cur order.Bitset, seq []order.Bitset, depth int) {
 		if stop {
 			return
 		}
@@ -93,21 +113,22 @@ func EnumerateComplete(c *core.Computation, limit int, fn func(s Sequence) bool)
 			}
 			return
 		}
-		frontier := order.MinimalOutside(c.Reach(), c.Preds(), cur)
-		cmp := func(u, v int) bool {
-			return c.Temporal(core.EventID(u), core.EventID(v)) || c.Temporal(core.EventID(v), core.EventID(u))
+		if depth >= len(frontiers) {
+			frontiers = append(frontiers, nil)
 		}
+		frontier := order.MinimalOutsideAppend(reach, preds, cur, frontiers[depth][:0])
+		frontiers[depth] = frontier
 		order.Antichains(frontier, cmp, func(chain []int) bool {
 			next := cur.Clone()
 			for _, v := range chain {
 				next.Set(v)
 			}
-			rec(next, append(seq, next))
+			rec(next, append(seq, next), depth+1)
 			return !stop
 		})
 	}
 	empty := order.NewBitset(n)
-	rec(empty, []order.Bitset{empty})
+	rec(empty, []order.Bitset{empty}, 0)
 	return count
 }
 

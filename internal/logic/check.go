@@ -46,6 +46,10 @@ type CheckOptions struct {
 	// behavior); parallel runs report the same verdicts and the same
 	// first (lowest-index) counterexample.
 	Parallelism int
+	// Engine selects the temporal evaluation strategy (auto, lattice or
+	// seq). Every engine reports the same verdicts and counterexamples;
+	// they differ only in cost. The zero value is EngineAuto.
+	Engine Engine
 }
 
 // Holds checks a restriction against a computation following GEM
@@ -73,6 +77,28 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 	}
 	switch {
 	case HasTemporal(f):
+		// The lattice fixpoint engine (latticeeval.go) decides
+		// sequence-insensitive formulas over the history lattice instead
+		// of the exponentially larger sequence set. It is bypassed under
+		// enumeration budgets and the LinearOnly ablation, which change
+		// the checked semantics, and when a formula passes it reports nil
+		// directly; on failure the sequence strategies below re-run the
+		// check so the counterexample is the exact engine's.
+		useLattice := opts.Engine != EngineSeq && !opts.LinearOnly &&
+			opts.MaxSequences == 0 && opts.MaxHistories == 0 &&
+			SequenceInsensitive(f)
+		// A forced EngineLattice routes every fragment formula through
+		// the fixpoint evaluator; on failure it delegates the whole check
+		// to the sequence engine, so the counterexample is the exact
+		// engine's (and identical across engines).
+		if useLattice && opts.Engine == EngineLattice {
+			if latticeHolds(f, c) {
+				return nil
+			}
+			seq := opts
+			seq.Engine = EngineSeq
+			return Holds(f, c, seq)
+		}
 		// □p for immediate p is an invariant: it holds on every valid
 		// history sequence iff p holds at every history (every history
 		// occurs in some complete sequence, and every sequence member is
@@ -80,6 +106,12 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		// exponentially larger sequence set, exactly.
 		if box, ok := f.(Box); ok && !HasTemporal(box.F) {
 			return holdsOnHistories(box.F, c, opts.MaxHistories)
+		}
+		// EngineAuto: a passing lattice run decides the common case; a
+		// failing one falls through to the strategies below, which find
+		// the same counterexample the sequence engine would.
+		if useLattice && latticeHolds(f, c) {
+			return nil
 		}
 		// □φ where φ's only temporal subformulas are positive □ of
 		// immediate bodies (e.g. the paper's priority restriction
@@ -245,4 +277,3 @@ func holdsOnHistoryPairs(f Formula, c *core.Computation, limit int) *Counterexam
 	})
 	return cx
 }
-

@@ -1,0 +1,467 @@
+package logic
+
+import (
+	"fmt"
+
+	"gem/internal/core"
+	"gem/internal/history"
+	"gem/internal/order"
+)
+
+// This file implements the lattice fixpoint evaluation engine for temporal
+// restrictions. GEM semantics quantifies a temporal restriction over all
+// complete valid history sequences, and the sequence engine checks that
+// literally — exponentially many sequences, each re-evaluating the formula
+// at every position. But the histories of a computation form a finite
+// lattice (history.Lattice), complete sequences are exactly the maximal
+// paths of its vhs step DAG (Lattice.Steps), and this codebase's temporal
+// operators are forward-only: the truth of a formula at a sequence
+// position depends only on the suffix from that position. For a large
+// fragment of the restriction language, truth is therefore a function of
+// the *history* alone and can be computed once per (subformula, history)
+// pair — O(|lattice| × |f|) instead of O(#sequences × length × |f|).
+//
+// The evaluator computes two satisfaction bitsets per subformula, indexed
+// by the lattice's histories:
+//
+//	lower(f)[h] — f holds at h in EVERY complete sequence through h
+//	upper(f)[h] — f holds at h in SOME complete sequence through h
+//
+// The restriction holds iff lower(F) contains the empty history (every
+// complete sequence starts there). Rules, with their exactness arguments:
+//
+//	lower(□f)[h] = ∀ h' ⊒ h: lower(f)[h']      (exact for any f: a
+//	    failing position (τ,k) at h' splices onto any ∅→h→h' prefix,
+//	    and forward-only evaluation preserves f's value on the shared
+//	    suffix)
+//	upper(◇f)[h] = ∃ h' ⊒ h: upper(f)[h']      (exact dually)
+//	lower(◇f)[h] = AF over the step DAG: every maximal step path from
+//	    h hits an f-history — exact only when f is immediate (history-
+//	    determined), which the fragment analyzer guarantees
+//	upper(□f)[h] = EG over the step DAG: some maximal step path from h
+//	    stays inside f-histories — immediate f only, as above
+//	lower(¬f) = ¬upper(f), upper(¬f) = ¬lower(f)
+//	lower(∧) = ∩ lowers (exact); upper(∨) = ∪ uppers (exact)
+//	lower(∨) = ∪ lowers and upper(∧) = ∩ uppers — exact only when at
+//	    most one operand is non-immediate (two sequence-dependent
+//	    disjuncts can cover all sequences without either covering them
+//	    alone)
+//	quantifiers distribute like ∧/∨ over their (history-independent)
+//	    binding domains
+//
+// The □/◇ reachability and fixpoint passes run in one sweep over
+// Lattice.EvalOrder (decreasing history size), since every step successor
+// is a strict superset.
+//
+// SequenceInsensitive is the conservative fragment analyzer: it accepts a
+// formula only when every rule applied by lower(f) is exact, so the
+// engine's verdict provably equals the sequence enumerator's. Holds
+// routes fragment formulas here and falls back to the exact sequence
+// engine otherwise — and also on failure, so counterexamples are always
+// produced by (and identical to) the sequence engine's search.
+
+// Engine selects the evaluation strategy Holds uses for temporal
+// restrictions.
+type Engine int
+
+const (
+	// EngineAuto picks the cheapest sound strategy per formula: the
+	// □-invariant reduction, then the lattice engine for
+	// sequence-insensitive formulas, then the history-pair reduction,
+	// then sequence enumeration. The default.
+	EngineAuto Engine = iota
+	// EngineSeq forces the sequence-based strategies (invariant and pair
+	// reductions plus enumeration) — the engine's historical behavior.
+	EngineSeq
+	// EngineLattice forces the lattice fixpoint evaluator for every
+	// formula in its fragment, falling back to the sequence engine only
+	// outside it.
+	EngineLattice
+)
+
+// String implements flag.Value-style rendering.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSeq:
+		return "seq"
+	case EngineLattice:
+		return "lattice"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "seq":
+		return EngineSeq, nil
+	case "lattice":
+		return EngineLattice, nil
+	default:
+		return EngineAuto, fmt.Errorf("logic: unknown engine %q (want auto, lattice or seq)", s)
+	}
+}
+
+// SequenceInsensitive reports whether the formula's truth over all
+// complete valid history sequences is determined by the history lattice
+// alone — i.e. the lattice engine's lower(f) is exact for it. The
+// analysis is purely syntactic and conservative: a false answer only
+// costs the lattice shortcut, never soundness.
+func SequenceInsensitive(f Formula) bool { return exactLower(f) }
+
+// immediate reports that the formula reads only the current history.
+func immediate(f Formula) bool { return !HasTemporal(f) }
+
+// exactLower reports that the engine's lower rules are exact for f.
+func exactLower(f Formula) bool {
+	if immediate(f) {
+		return true
+	}
+	switch g := f.(type) {
+	case Box:
+		return exactLower(g.F)
+	case Diamond:
+		return immediate(g.F)
+	case Not:
+		return exactUpper(g.F)
+	case And:
+		for _, sub := range g {
+			if !exactLower(sub) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		nonImm := 0
+		for _, sub := range g {
+			if !exactLower(sub) {
+				return false
+			}
+			if !immediate(sub) {
+				nonImm++
+			}
+		}
+		return nonImm <= 1
+	case Implies:
+		return exactUpper(g.If) && exactLower(g.Then) &&
+			(immediate(g.If) || immediate(g.Then))
+	case ForAll:
+		return exactLower(g.Body)
+	case ForAllThread:
+		return exactLower(g.Body)
+	case ForAllIn:
+		return exactLower(g.Body)
+	case Exists, ExistsThread:
+		// lower(∃x φ) = ∪ₓ lower(φₓ) requires one binding to witness φ in
+		// every sequence, but different sequences may use different
+		// witnesses: not exact for non-immediate bodies (immediate ones
+		// were accepted above).
+		return false
+	default:
+		// Iff, ExistsUnique, AtMostOne, ExistsUniqueIn mix polarities or
+		// count across bindings: only their immediate forms (handled
+		// above) are in the fragment.
+		return false
+	}
+}
+
+// exactUpper reports that the engine's upper rules are exact for f.
+func exactUpper(f Formula) bool {
+	if immediate(f) {
+		return true
+	}
+	switch g := f.(type) {
+	case Box:
+		return immediate(g.F)
+	case Diamond:
+		return exactUpper(g.F)
+	case Not:
+		return exactLower(g.F)
+	case Or:
+		for _, sub := range g {
+			if !exactUpper(sub) {
+				return false
+			}
+		}
+		return true
+	case And:
+		nonImm := 0
+		for _, sub := range g {
+			if !exactUpper(sub) {
+				return false
+			}
+			if !immediate(sub) {
+				nonImm++
+			}
+		}
+		return nonImm <= 1
+	case Implies:
+		return exactLower(g.If) && exactUpper(g.Then)
+	case Exists:
+		return exactUpper(g.Body)
+	case ExistsThread:
+		return exactUpper(g.Body)
+	case ForAll:
+		return false // ∩ over several non-immediate bindings is not exact
+	case ForAllThread:
+		return false
+	case ForAllIn:
+		return false
+	default:
+		return false
+	}
+}
+
+// latticeHolds decides whether f holds on every complete valid history
+// sequence of c by fixpoint evaluation over the shared history lattice.
+// It must only be called with SequenceInsensitive(f); the verdict then
+// equals the sequence enumerator's.
+func latticeHolds(f Formula, c *core.Computation) bool {
+	lat := history.Shared(c)
+	ev := &latticeEval{
+		c:     c,
+		hs:    lat.Histories(),
+		steps: lat.Steps(),
+		order: lat.EvalOrder(),
+	}
+	low := ev.lower(f, &Env{C: c})
+	for i, h := range ev.hs {
+		if h.Len() == 0 {
+			return low.Has(i)
+		}
+	}
+	// A computation always has the empty history; not reaching it means
+	// the lattice is corrupt.
+	panic("logic: history lattice has no empty history")
+}
+
+// latticeEval evaluates subformulas to per-history satisfaction bitsets.
+type latticeEval struct {
+	c     *core.Computation
+	hs    []history.History
+	steps [][]int32
+	order []int32
+}
+
+// lower returns the set of history indices h with lower(f)[h].
+func (ev *latticeEval) lower(f Formula, env *Env) order.Bitset {
+	if immediate(f) {
+		return ev.pointwise(f, env)
+	}
+	switch g := f.(type) {
+	case Box:
+		return ev.allSuccessors(ev.lower(g.F, env))
+	case Diamond:
+		return ev.inevitably(ev.lower(g.F, env))
+	case Not:
+		return ev.complement(ev.upper(g.F, env))
+	case And:
+		acc := order.NewBitset(len(ev.hs))
+		acc.Fill()
+		for _, sub := range g {
+			acc.AndWith(ev.lower(sub, env))
+		}
+		return acc
+	case Or:
+		acc := order.NewBitset(len(ev.hs))
+		for _, sub := range g {
+			acc.OrWith(ev.lower(sub, env))
+		}
+		return acc
+	case Implies:
+		out := ev.complement(ev.upper(g.If, env))
+		out.OrWith(ev.lower(g.Then, env))
+		return out
+	case ForAll:
+		acc := order.NewBitset(len(ev.hs))
+		acc.Fill()
+		for _, id := range classDomain(env, g.Ref) {
+			acc.AndWith(ev.lower(g.Body, env.bind(g.Var, id)))
+		}
+		return acc
+	case ForAllIn:
+		acc := order.NewBitset(len(ev.hs))
+		acc.Fill()
+		for _, id := range unionDomain(env, g.Refs) {
+			acc.AndWith(ev.lower(g.Body, env.bind(g.Var, id)))
+		}
+		return acc
+	case ForAllThread:
+		acc := order.NewBitset(len(ev.hs))
+		acc.Fill()
+		for _, tid := range threadDomain(env, g.Type) {
+			acc.AndWith(ev.lower(g.Body, env.bindThread(g.Var, tid)))
+		}
+		return acc
+	default:
+		// Non-immediate Exists-family formulas are outside the lower
+		// fragment (see exactLower); immediate ones never reach the
+		// switch.
+		panic(fmt.Sprintf("logic: lattice engine called outside its fragment on %s", f))
+	}
+}
+
+// upper returns the set of history indices h with upper(f)[h].
+func (ev *latticeEval) upper(f Formula, env *Env) order.Bitset {
+	if immediate(f) {
+		return ev.pointwise(f, env)
+	}
+	switch g := f.(type) {
+	case Box:
+		return ev.invariantly(ev.upper(g.F, env))
+	case Diamond:
+		return ev.someSuccessor(ev.upper(g.F, env))
+	case Not:
+		return ev.complement(ev.lower(g.F, env))
+	case And:
+		acc := order.NewBitset(len(ev.hs))
+		acc.Fill()
+		for _, sub := range g {
+			acc.AndWith(ev.upper(sub, env))
+		}
+		return acc
+	case Or:
+		acc := order.NewBitset(len(ev.hs))
+		for _, sub := range g {
+			acc.OrWith(ev.upper(sub, env))
+		}
+		return acc
+	case Implies:
+		out := ev.complement(ev.lower(g.If, env))
+		out.OrWith(ev.upper(g.Then, env))
+		return out
+	case Exists:
+		acc := order.NewBitset(len(ev.hs))
+		for _, id := range classDomain(env, g.Ref) {
+			acc.OrWith(ev.upper(g.Body, env.bind(g.Var, id)))
+		}
+		return acc
+	case ExistsThread:
+		acc := order.NewBitset(len(ev.hs))
+		for _, tid := range threadDomain(env, g.Type) {
+			acc.OrWith(ev.upper(g.Body, env.bindThread(g.Var, tid)))
+		}
+		return acc
+	default:
+		panic(fmt.Sprintf("logic: lattice engine called outside its fragment on %s", f))
+	}
+}
+
+// pointwise evaluates an immediate formula at every lattice history.
+// Purely structural formulas have one verdict for the whole computation,
+// so they are evaluated once.
+func (ev *latticeEval) pointwise(f Formula, env *Env) order.Bitset {
+	out := order.NewBitset(len(ev.hs))
+	saveH := env.H
+	defer func() { env.H = saveH }()
+	if !HasHistoryPredicate(f) {
+		env.H = ev.hs[0]
+		if f.Eval(env) {
+			out.Fill()
+		}
+		return out
+	}
+	for i, h := range ev.hs {
+		env.H = h
+		if f.Eval(env) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// complement returns the indices not in x (fresh set; x is not modified).
+func (ev *latticeEval) complement(x order.Bitset) order.Bitset {
+	out := order.NewBitset(len(ev.hs))
+	out.Fill()
+	out.AndNotWith(x)
+	return out
+}
+
+// allSuccessors computes AG: the histories all of whose supersets
+// (including themselves) lie in body. One sweep in decreasing-size order
+// suffices, since step reachability is exactly the strict-superset
+// relation.
+func (ev *latticeEval) allSuccessors(body order.Bitset) order.Bitset {
+	out := body // body bitsets are owned per-node; reuse in place
+	for _, i := range ev.order {
+		if !out.Has(int(i)) {
+			continue
+		}
+		for _, j := range ev.steps[i] {
+			if !out.Has(int(j)) {
+				out.Clear(int(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// someSuccessor computes EF: the histories with some superset (including
+// themselves) in body.
+func (ev *latticeEval) someSuccessor(body order.Bitset) order.Bitset {
+	out := body
+	for _, i := range ev.order {
+		if out.Has(int(i)) {
+			continue
+		}
+		for _, j := range ev.steps[i] {
+			if out.Has(int(j)) {
+				out.Set(int(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// inevitably computes AF over the step DAG: every maximal step path from
+// the history (equivalently, every complete sequence suffix) eventually
+// visits body. The full history is the DAG's sink, so paths end there.
+func (ev *latticeEval) inevitably(body order.Bitset) order.Bitset {
+	out := body
+	for _, i := range ev.order {
+		if out.Has(int(i)) || len(ev.steps[i]) == 0 {
+			continue
+		}
+		all := true
+		for _, j := range ev.steps[i] {
+			if !out.Has(int(j)) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.Set(int(i))
+		}
+	}
+	return out
+}
+
+// invariantly computes EG over the step DAG: some maximal step path from
+// the history stays inside body throughout.
+func (ev *latticeEval) invariantly(body order.Bitset) order.Bitset {
+	out := body
+	for _, i := range ev.order {
+		if !out.Has(int(i)) || len(ev.steps[i]) == 0 {
+			continue
+		}
+		any := false
+		for _, j := range ev.steps[i] {
+			if out.Has(int(j)) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			out.Clear(int(i))
+		}
+	}
+	return out
+}

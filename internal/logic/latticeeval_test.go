@@ -1,0 +1,209 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gem/internal/core"
+)
+
+// These tests counter-verify the lattice fixpoint engine against the
+// definitional sequence semantics: the raw lattice verdict (before any
+// fallback) must equal brute-force enumeration on randomized computations
+// and formulas, and Holds must report identical verdicts and identical
+// counterexamples under every engine.
+
+func TestSequenceInsensitiveShapes(t *testing.T) {
+	imm := Occurred{Var: "e"}
+	imm2 := New{Var: "e"}
+	tests := []struct {
+		f    Formula
+		want bool
+	}{
+		{imm, true},
+		{Box{F: imm}, true},
+		{Diamond{F: imm}, true},
+		{Box{F: Box{F: imm}}, true},
+		{Box{F: Diamond{F: imm}}, true},  // leads-to: □◇p
+		{Diamond{F: Box{F: imm}}, false}, // AF needs an immediate body
+		{Diamond{F: Diamond{F: imm}}, false},
+		{Not{F: Box{F: imm}}, true}, // ¬□p = upper polarity, EG on immediate
+		{Not{F: Diamond{F: Diamond{F: imm}}}, true},
+		{Not{F: Diamond{F: Box{F: imm}}}, true},          // upper(◇□p) = EF∘EG, both exact
+		{Not{F: Diamond{F: Box{F: Box{F: imm}}}}, false}, // EG needs an immediate body
+		{And{Box{F: imm}, Diamond{F: imm2}}, true},
+		{Or{Box{F: imm}, imm2}, true},
+		{Or{Box{F: imm}, Diamond{F: imm2}}, false}, // two sequence-dependent disjuncts
+		{Implies{If: imm, Then: Box{F: imm2}}, true},
+		{Implies{If: Box{F: imm}, Then: imm2}, true},                      // immediate Then; upper(□imm) is exact (EG)
+		{Implies{If: Diamond{F: imm}, Then: imm2}, true},                  // immediate Then; upper(◇imm) is exact (EF)
+		{Implies{If: Diamond{F: Box{F: imm}}, Then: imm2}, true},          // upper(◇□p) exact as above
+		{Implies{If: Diamond{F: Box{F: Box{F: imm}}}, Then: imm2}, false}, // EG of a non-immediate body
+		{Box{F: Implies{If: imm, Then: Box{F: imm2}}}, true},              // the paper's priority shape
+		{Box{F: Implies{If: imm, Then: Diamond{F: imm2}}}, true},
+		{ForAll{Var: "e", Ref: core.Ref("", "X"), Body: Box{F: imm}}, true},
+		{Exists{Var: "e", Ref: core.Ref("", "X"), Body: Box{F: imm}}, false},
+		{Exists{Var: "e", Ref: core.Ref("", "X"), Body: imm}, true}, // immediate overall
+		{Not{F: ForAll{Var: "e", Ref: core.Ref("", "X"), Body: Box{F: imm}}}, false},
+		// upper(∃x □p) = ∪ₓ upper(□p) is exact ("some sequence" commutes
+		// with ∃x), so the negation is in the lower fragment.
+		{Not{F: Exists{Var: "e", Ref: core.Ref("", "X"), Body: Box{F: imm}}}, true},
+		{ExistsUnique{Var: "e", Ref: core.Ref("", "X"), Body: Box{F: imm}}, false},
+		{Iff{A: Box{F: imm}, B: imm2}, false},
+	}
+	for _, tt := range tests {
+		if got := SequenceInsensitive(tt.f); got != tt.want {
+			t.Errorf("SequenceInsensitive(%s) = %v, want %v", tt.f, got, tt.want)
+		}
+	}
+}
+
+// randFragment builds a random formula inside the lattice engine's
+// fragment, with enough shape diversity to exercise every rule: nested □,
+// ◇ of immediate bodies, leads-to, negated temporals, guarded
+// implications and quantified bodies.
+func randFragment(rng *rand.Rand) Formula {
+	imm := func() Formula { return randImmediate(rng) }
+	var f Formula
+	switch rng.Intn(10) {
+	case 0:
+		f = Box{F: imm()}
+	case 1:
+		f = Diamond{F: imm()}
+	case 2:
+		f = Box{F: Box{F: imm()}}
+	case 3:
+		f = Box{F: Diamond{F: imm()}}
+	case 4:
+		f = Not{F: Box{F: imm()}}
+	case 5:
+		f = Not{F: Diamond{F: imm()}}
+	case 6:
+		f = Box{F: Implies{If: imm(), Then: Box{F: imm()}}}
+	case 7:
+		f = Box{F: Implies{If: imm(), Then: Diamond{F: imm()}}}
+	case 8:
+		f = And{Box{F: imm()}, Diamond{F: imm()}}
+	case 9:
+		f = Or{Box{F: imm()}, imm()}
+	}
+	if rng.Intn(4) == 0 {
+		f = ForAll{Var: "z", Ref: core.Ref("", "X"), Body: Box{F: Implies{If: Occurred{Var: "z"}, Then: f}}}
+	}
+	return f
+}
+
+// TestQuickLatticeRawVerdictAgreesWithBruteForce compares the lattice
+// engine's raw verdict — not Holds, which masks a lattice bug on the
+// failing side by delegating to the sequence engine — against brute-force
+// sequence enumeration. 150 random (computation, formula) pairs exceed
+// the issue's 100-computation floor.
+func TestQuickLatticeRawVerdictAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(rng, 6)
+		formula := randFragment(rng)
+		if !SequenceInsensitive(formula) {
+			t.Fatalf("randFragment produced a non-fragment formula: %s", formula)
+		}
+		got := latticeHolds(formula, c)
+		want := bruteForce(formula, c)
+		if got != want {
+			t.Logf("disagreement on %s\n%s lattice=%v brute=%v", formula, c, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEngineAgreement: Holds under auto, lattice and seq reports
+// identical verdicts and identical counterexamples (violating history and
+// sequence) on random computations, for fragment and non-fragment
+// formulas alike.
+func TestQuickEngineAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(rng, 6)
+		var formula Formula
+		if rng.Intn(4) == 0 {
+			// Outside the fragment: all engines must fall back coherently.
+			formula = Or{Box{F: randImmediate(rng)}, Diamond{F: randImmediate(rng)}}
+		} else {
+			formula = randFragment(rng)
+		}
+		cxAuto := Holds(formula, c, CheckOptions{Engine: EngineAuto})
+		cxLat := Holds(formula, c, CheckOptions{Engine: EngineLattice})
+		cxSeq := Holds(formula, c, CheckOptions{Engine: EngineSeq})
+		if (cxAuto == nil) != (cxSeq == nil) || (cxLat == nil) != (cxSeq == nil) {
+			t.Logf("verdict disagreement on %s: auto=%v lattice=%v seq=%v",
+				formula, cxAuto == nil, cxLat == nil, cxSeq == nil)
+			return false
+		}
+		if cxSeq == nil {
+			return true
+		}
+		for _, cx := range []*Counterexample{cxAuto, cxLat} {
+			if !cx.History.Equal(cxSeq.History) || len(cx.Seq) != len(cxSeq.Seq) {
+				t.Logf("counterexample disagreement on %s", formula)
+				return false
+			}
+			for i := range cx.Seq {
+				if !cx.Seq[i].Equal(cxSeq.Seq[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseEngineRoundTrip(t *testing.T) {
+	for _, e := range []Engine{EngineAuto, EngineSeq, EngineLattice} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if e, err := ParseEngine(""); err != nil || e != EngineAuto {
+		t.Errorf("empty engine should default to auto, got %v, %v", e, err)
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("unknown engine should be rejected")
+	}
+	if got := Engine(99).String(); got != "engine(99)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+// TestLatticeEngineBudgetsBypass: enumeration budgets and the LinearOnly
+// ablation change the checked semantics, so the lattice engine must not
+// engage under them — the option structs must behave exactly as before.
+func TestLatticeEngineBudgetsBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomComp(rng, 6)
+	formula := Box{F: Diamond{F: Occurred{Var: "e"}}}
+	bound := ForAll{Var: "e", Ref: core.Ref("", "X"), Body: formula}
+	for _, opts := range []CheckOptions{
+		{Engine: EngineLattice, MaxSequences: 3},
+		{Engine: EngineLattice, MaxHistories: 3},
+		{Engine: EngineLattice, LinearOnly: true},
+	} {
+		seq := opts
+		seq.Engine = EngineSeq
+		got := Holds(bound, c, opts)
+		want := Holds(bound, c, seq)
+		if (got == nil) != (want == nil) {
+			t.Errorf("budgeted check diverged between engines under %+v", opts)
+		}
+		if got != nil && want != nil && !reflect.DeepEqual(got.History, want.History) {
+			t.Errorf("budgeted counterexample diverged under %+v", opts)
+		}
+	}
+}

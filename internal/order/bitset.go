@@ -107,6 +107,32 @@ func (b Bitset) AndNotWith(other Bitset) {
 	}
 }
 
+// CopyFrom overwrites b's members with other's. The sets must have equal
+// capacity. Unlike Clone it reuses b's storage, so hot loops can keep one
+// scratch set instead of allocating per iteration.
+func (b Bitset) CopyFrom(other Bitset) {
+	b.mustMatch(other)
+	copy(b.words, other.words)
+}
+
+// Reset removes every member, reusing the storage.
+func (b Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Fill adds every value in [0, Cap()) to the set. Bits beyond the
+// capacity stay clear so Count and ForEach remain exact.
+func (b Bitset) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n % wordBits; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(tail)) - 1
+	}
+}
+
 // Equal reports whether the two sets have the same members.
 func (b Bitset) Equal(other Bitset) bool {
 	if b.n != other.n {
@@ -193,6 +219,31 @@ func (b Bitset) String() string {
 	})
 	sb.WriteByte('}')
 	return sb.String()
+}
+
+// IsClique reports whether every pair of distinct members of set is
+// related under the symmetric relation rows, where rows[v] is the set of
+// partners of v. Empty and singleton sets are cliques. In GEM terms, with
+// rows the per-event concurrency rows of a computation, it decides in
+// O(|set| × words) whether a step's delta is pairwise potentially
+// concurrent — replacing the O(|delta|²) member-pair loop.
+func IsClique(rows []Bitset, set Bitset) bool {
+	clique := true
+	set.ForEach(func(v int) bool {
+		row := rows[v]
+		for i, w := range set.words {
+			rem := w &^ row.words[i]
+			if i == v/wordBits {
+				rem &^= 1 << (uint(v) % wordBits)
+			}
+			if rem != 0 {
+				clique = false
+				return false
+			}
+		}
+		return true
+	})
+	return clique
 }
 
 func (b Bitset) mustMatch(other Bitset) {

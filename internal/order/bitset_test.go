@@ -217,6 +217,80 @@ func TestBitsetQuickInclusionExclusion(t *testing.T) {
 	}
 }
 
+func TestBitsetCopyFromResetFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		a := NewBitset(n)
+		a.Fill()
+		if a.Count() != n {
+			t.Fatalf("Fill: Count = %d, want %d (n=%d)", a.Count(), n, n)
+		}
+		a.ForEach(func(i int) bool {
+			if i < 0 || i >= n {
+				t.Fatalf("Fill set out-of-range bit %d (n=%d)", i, n)
+			}
+			return true
+		})
+		b := NewBitset(n)
+		if n > 0 {
+			b.Set(n / 2)
+		}
+		a.CopyFrom(b)
+		if !a.Equal(b) {
+			t.Fatalf("CopyFrom: %s != %s", a, b)
+		}
+		a.Reset()
+		if !a.Empty() {
+			t.Fatalf("Reset left members: %s", a)
+		}
+		// CopyFrom reuses storage: mutating the copy must not touch the
+		// source.
+		if n > 0 {
+			a.CopyFrom(b)
+			a.Clear(n / 2)
+			if !b.Has(n / 2) {
+				t.Fatal("CopyFrom aliased the source set")
+			}
+		}
+	}
+	assertPanics(t, func() { NewBitset(5).CopyFrom(NewBitset(6)) })
+}
+
+// TestIsCliqueBruteForce cross-checks IsClique against the pairwise
+// member loop it replaces, over random symmetric relations.
+func TestIsCliqueBruteForce(t *testing.T) {
+	f := func(edges []uint16, members []uint8) bool {
+		const n = 70
+		rows := make([]Bitset, n)
+		for i := range rows {
+			rows[i] = NewBitset(n)
+		}
+		for _, e := range edges {
+			u, v := int(e)%n, int(e/uint16(n))%n
+			if u != v {
+				rows[u].Set(v)
+				rows[v].Set(u)
+			}
+		}
+		set := NewBitset(n)
+		for _, m := range members {
+			set.Set(int(m) % n)
+		}
+		ms := set.Members()
+		want := true
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				if !rows[ms[i]].Has(ms[j]) {
+					want = false
+				}
+			}
+		}
+		return IsClique(rows, set) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func assertPanics(t *testing.T, fn func()) {
 	t.Helper()
 	defer func() {

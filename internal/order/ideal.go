@@ -57,14 +57,20 @@ func IdealsPre(reach, preds []Bitset, limit int, fn func(ideal Bitset) bool) int
 // MinimalOutside returns the elements not in cur all of whose predecessors
 // are in cur — i.e. the events that could individually extend the ideal.
 func MinimalOutside(reach []Bitset, preds []Bitset, cur Bitset) []int {
+	return MinimalOutsideAppend(reach, preds, cur, nil)
+}
+
+// MinimalOutsideAppend is MinimalOutside appending into buf, so hot
+// enumeration loops can reuse one buffer per recursion depth instead of
+// allocating a fresh slice per visited ideal.
+func MinimalOutsideAppend(reach []Bitset, preds []Bitset, cur Bitset, buf []int) []int {
 	n := len(reach)
-	var out []int
 	for v := 0; v < n; v++ {
 		if !cur.Has(v) && preds[v].SubsetOf(cur) {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
 }
 
 // DownClosure returns the downward closure of the given set under the

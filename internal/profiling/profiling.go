@@ -1,0 +1,53 @@
+// Package profiling wires the standard pprof profilers into the gem
+// CLIs: both gemcheck and gemverify expose -cpuprofile and -memprofile
+// flags whose handling (file creation, profile start/stop ordering, a
+// GC before the heap snapshot) is identical, so it lives here once.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the stop
+// function that must run before the process exits (a deferred call in
+// the command's run function, not main, so os.Exit cannot skip it).
+// An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap records an allocation profile to path after forcing a
+// collection, so the snapshot reflects live retention rather than
+// garbage awaiting the next GC cycle. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesAreWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = make([]byte, 1024)
+	}
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeap(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestUnwritablePathErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing", "p.pprof")
+	if _, err := StartCPU(bad); err == nil {
+		t.Error("StartCPU should fail on an unwritable path")
+	}
+	if err := WriteHeap(bad); err == nil {
+		t.Error("WriteHeap should fail on an unwritable path")
+	}
+}

@@ -289,14 +289,18 @@ type Indexed struct {
 
 // CheckStream runs the sat check over computations arriving on ch (e.g.
 // streamed from a simulator while exploration is still in progress)
-// using opts.Parallelism workers. It drains the channel completely and
-// returns the lowest failing index and its result, or (-1, ok-result)
-// when every computation satisfies the problem. When a failure is found,
-// stop (if non-nil) is called once to let the producer cut exploration
-// short; computations with a lower index are still checked, so the
-// verdict and first-failure index equal the sequential run's over the
-// same stream prefix.
-func CheckStream(problem *spec.Spec, ch <-chan Indexed, stop func(), corr Correspondence, opts logic.CheckOptions) (int, Result) {
+// using opts.Parallelism workers. The channel carries batches rather
+// than single computations so one channel operation amortizes over
+// several checks: per-item sends put a contended synchronization point
+// between every pair of cheap sat checks, the same pathology chunked
+// dispatch fixes in logic.FirstFailure. It drains the channel
+// completely and returns the lowest failing index and its result, or
+// (-1, ok-result) when every computation satisfies the problem. When a
+// failure is found, stop (if non-nil) is called once to let the
+// producer cut exploration short; computations with a lower index are
+// still checked, so the verdict and first-failure index equal the
+// sequential run's over the same stream prefix.
+func CheckStream(problem *spec.Spec, ch <-chan []Indexed, stop func(), corr Correspondence, opts logic.CheckOptions) (int, Result) {
 	inner := opts
 	inner.Parallelism = 1
 	w := logic.Workers(opts.Parallelism, 1<<30)
@@ -327,12 +331,14 @@ func CheckStream(problem *spec.Spec, ch <-chan Indexed, stop func(), corr Corres
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for item := range ch {
-				if skip(item.Index) {
-					continue
-				}
-				if r := Check(problem, item.Comp, corr, inner); !r.Sat() {
-					fail(item.Index, r)
+			for batch := range ch {
+				for _, item := range batch {
+					if skip(item.Index) {
+						continue
+					}
+					if r := Check(problem, item.Comp, corr, inner); !r.Sat() {
+						fail(item.Index, r)
+					}
 				}
 			}
 		}()

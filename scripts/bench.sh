@@ -1,8 +1,12 @@
 #!/bin/sh
 # Benchmark sweep: runs every benchmark (E1..E10 plus the package
 # micro-benchmarks) with allocation stats and records the run as
-# BENCH_<date>.json next to the raw text output, so successive runs can
-# be diffed. Usage, from the repository root:
+# BENCH_<date>.json next to the raw text output. The JSON is produced by
+# cmd/benchjson and carries a host section (GOMAXPROCS/NumCPU, so
+# single-CPU hosts are identifiable) plus a delta section with new/old
+# ratios against the most recent earlier BENCH_*.json — including
+# records in the original bare-array format. Usage, from the repository
+# root:
 #
 #   ./scripts/bench.sh                # all benchmarks, one iteration set
 #   ./scripts/bench.sh BenchmarkE4    # filter by -bench regexp
@@ -14,28 +18,20 @@ date="$(date +%Y%m%d)"
 txt="BENCH_${date}.txt"
 json="BENCH_${date}.json"
 
+# The most recent record is the delta baseline — possibly today's own
+# file when the sweep reruns on the same day, which is why the new JSON
+# is staged in a temp file instead of truncating the baseline first.
+prev="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+
 echo "==> go test -run '^$' -bench $pattern -benchmem ./..."
 go test -run '^$' -bench "$pattern" -benchmem ./... | tee "$txt"
 
-# Convert the benchmark lines into a JSON array: one object per
-# benchmark with ns/op, B/op, allocs/op as available.
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
-    for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-    }
-    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, iters)
-    if (ns != "")     line = line sprintf(", \"ns_per_op\": %s", ns)
-    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-    line = line "}"
-    if (n++) printf(",\n")
-    printf("%s", line)
-}
-END { if (n) printf("\n"); print "]" }
-' "$txt" > "$json"
-echo "==> wrote $txt and $json"
+if [ -n "$prev" ]; then
+	go run ./cmd/benchjson -prev "$prev" <"$txt" >"$json.tmp"
+	mv "$json.tmp" "$json"
+	echo "==> wrote $txt and $json (delta vs $prev)"
+else
+	go run ./cmd/benchjson <"$txt" >"$json.tmp"
+	mv "$json.tmp" "$json"
+	echo "==> wrote $txt and $json"
+fi

@@ -22,4 +22,6 @@ echo "==> gemlint examples/specs"
 go run ./cmd/gemlint examples/specs/*.gem
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
+echo "==> bench smoke (-short, one iteration per benchmark)"
+go test -run '^$' -bench . -benchtime 1x -short ./... >/dev/null
 echo "==> ok"
