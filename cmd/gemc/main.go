@@ -3,12 +3,13 @@
 // the element/group/thread structure, and prints a summary of the
 // compiled specification — or, with -format, re-emits it as canonical
 // GEM source. With -lint it additionally runs the gemlint static
-// analyses and fails on any error-severity finding. The flags compose in
-// any order relative to each other and the file argument.
+// analyses and fails on any error-severity finding; -deep adds the
+// whole-specification semantic analyses (GEM009–GEM012). The flags
+// compose in any order relative to each other and the file argument.
 //
 // Usage:
 //
-//	gemc [-format] [-lint] FILE.gem
+//	gemc [-format] [-lint] [-deep] FILE.gem
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"gem/internal/analyze"
 	"gem/internal/gemlang"
 	"gem/internal/lint"
 	"gem/internal/spec"
@@ -35,9 +37,10 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(io.Discard)
 	format := fs.Bool("format", false, "re-emit the specification as canonical GEM source")
 	lintFlag := fs.Bool("lint", false, "run the gemlint static analyses; errors fail the compile")
+	deepFlag := fs.Bool("deep", false, "run the deep semantic analyses too (implies -lint)")
 	usage := func() error {
 		var b strings.Builder
-		fmt.Fprintln(&b, "usage: gemc [-format] [-lint] FILE.gem")
+		fmt.Fprintln(&b, "usage: gemc [-format] [-lint] [-deep] FILE.gem")
 		fs.SetOutput(&b)
 		fs.PrintDefaults()
 		fs.SetOutput(io.Discard)
@@ -72,14 +75,30 @@ func run(args []string, stdout io.Writer) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	if *lintFlag {
-		res, err := lint.AnalyzeSource(string(src))
-		if err != nil {
-			return err
+	if *lintFlag || *deepFlag {
+		var diags []lint.Diagnostic
+		if *deepFlag {
+			res, err := analyze.AnalyzeSource(string(src))
+			if err != nil {
+				return err
+			}
+			diags = res.All()
+		} else {
+			res, err := lint.AnalyzeSource(string(src))
+			if err != nil {
+				return err
+			}
+			diags = res.Diags
 		}
-		lint.Print(stdout, file, res.Diags)
-		if n := len(res.Errors()); n > 0 {
-			return fmt.Errorf("lint: %d error(s) in %s", n, file)
+		lint.Print(stdout, file, diags)
+		errs := 0
+		for _, d := range diags {
+			if d.Severity >= lint.SeverityError {
+				errs++
+			}
+		}
+		if errs > 0 {
+			return fmt.Errorf("lint: %d error(s) in %s", errs, file)
 		}
 	}
 	if *format {

@@ -1,14 +1,20 @@
 // Command gemlint runs the static well-formedness and consistency
 // analyses of internal/lint over GEM specification source files and
-// reports position-annotated diagnostics.
+// reports position-annotated diagnostics. With -deep it additionally
+// runs the whole-specification semantic analyses of internal/analyze
+// (GEM009–GEM012: contradiction, deadlock, unreachability, redundancy).
 //
 // Usage:
 //
-//	gemlint [-json] FILE.gem...
+//	gemlint [-deep] [-format=text|json|sarif] FILE.gem...
 //
 // Text output is one finding per line:
 //
 //	file.gem:12:3: GEM004 error: restriction "r" of spec: ...
+//
+// Files are analyzed in parallel; diagnostics are reported in a
+// deterministic order (file, position, code, subject) regardless of
+// which analysis finishes first, so repeated runs are byte-identical.
 //
 // Exit status: 0 when every file is clean (or has only informational
 // output), 1 when warnings were reported but no errors, 2 on errors —
@@ -21,7 +27,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
+	"gem/internal/analyze"
 	"gem/internal/lint"
 )
 
@@ -29,18 +40,20 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// fileDiag is one diagnostic tagged with its file, the JSON output unit.
-type fileDiag struct {
-	File string `json:"file"`
-	lint.Diagnostic
+// fileResult is the outcome of analyzing one input file.
+type fileResult struct {
+	diags  []lint.Diagnostic
+	errMsg string // read or parse failure (exit 2)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gemlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (alias for -format=json)")
+	format := fs.String("format", "", "output format: text, json, or sarif (default text)")
+	deep := fs.Bool("deep", false, "run the deep semantic analyses (GEM009-GEM012)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: gemlint [-json] FILE.gem...")
+		fmt.Fprintln(stderr, "usage: gemlint [-deep] [-format=text|json|sarif] FILE.gem...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +63,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	switch *format {
+	case "":
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "gemlint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
+	// Analyze every file concurrently; results land in the slot of their
+	// input position, so output order never depends on scheduling.
+	files := fs.Args()
+	results := make([]fileResult, len(files))
+	workers := runtime.NumCPU()
+	if workers > len(files) {
+		workers = len(files)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(files) {
+					return
+				}
+				results[i] = analyzeFile(files[i], *deep)
+			}
+		}()
+	}
+	wg.Wait()
 
 	exit := 0
 	worsen := func(code int) {
@@ -57,42 +107,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 			exit = code
 		}
 	}
-	var all []fileDiag
-	for _, file := range fs.Args() {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+	var all []lint.FileDiagnostic
+	for i, r := range results {
+		if r.errMsg != "" {
+			fmt.Fprintf(stderr, "gemlint: %s\n", r.errMsg)
 			worsen(2)
 			continue
 		}
-		res, err := lint.AnalyzeSource(string(src))
-		if err != nil {
-			fmt.Fprintf(stderr, "gemlint: %s: %v\n", file, err)
-			worsen(2)
-			continue
-		}
-		for _, d := range res.Diags {
-			all = append(all, fileDiag{File: file, Diagnostic: d})
+		for _, d := range r.diags {
+			all = append(all, lint.FileDiagnostic{File: files[i], Diagnostic: d})
 			if d.Severity >= lint.SeverityError {
 				worsen(2)
 			} else {
 				worsen(1)
 			}
 		}
-		if !*jsonOut {
-			lint.Print(stdout, file, res.Diags)
-		}
 	}
-	if *jsonOut {
+	sortFileDiags(all)
+
+	switch *format {
+	case "text":
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%s\n", d.File, d.Diagnostic)
+		}
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if all == nil {
-			all = []fileDiag{}
+			all = []lint.FileDiagnostic{}
 		}
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintf(stderr, "gemlint: %v\n", err)
 			worsen(2)
 		}
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, all); err != nil {
+			fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			worsen(2)
+		}
 	}
 	return exit
+}
+
+func analyzeFile(file string, deep bool) fileResult {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return fileResult{errMsg: err.Error()}
+	}
+	if deep {
+		res, err := analyze.AnalyzeSource(string(src))
+		if err != nil {
+			return fileResult{errMsg: fmt.Sprintf("%s: %v", file, err)}
+		}
+		return fileResult{diags: res.All()}
+	}
+	res, err := lint.AnalyzeSource(string(src))
+	if err != nil {
+		return fileResult{errMsg: fmt.Sprintf("%s: %v", file, err)}
+	}
+	return fileResult{diags: res.Diags}
+}
+
+// sortFileDiags orders diagnostics file-major, then by the canonical
+// per-file order (position with unknown last, code, subject) — the
+// deterministic presentation the docs promise.
+func sortFileDiags(ds []lint.FileDiagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		pi, pj := ds[i].Pos, ds[j].Pos
+		if pi.IsZero() != pj.IsZero() {
+			return !pi.IsZero()
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Col != pj.Col {
+			return pi.Col < pj.Col
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		return ds[i].Subject < ds[j].Subject
+	})
 }

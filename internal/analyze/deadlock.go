@@ -1,0 +1,156 @@
+package analyze
+
+import (
+	"sort"
+	"strings"
+
+	"gem/internal/lint"
+	"gem/internal/order"
+	"gem/internal/thread"
+)
+
+// The static deadlock analysis (GEM010) builds a wait-for graph over the
+// (element, class) pairs and looks for cycles that mix the two kinds of
+// mandatory waits GEM has:
+//
+//   - constraint waits: a PREREQ-shaped restriction with a uniquely
+//     resolved single source forces every target event to wait for a
+//     prior source event — edge target → source;
+//   - thread waits: a thread path (c0 :: c1 :: …) forces each ci+1 event
+//     on an instance to follow the instance's ci event — edge ci+1 → ci.
+//
+// A strongly connected component containing at least one edge of each
+// kind is a circular wait no scheduler can break: the prerequisite
+// demands an event from later in some thread before an earlier stage of
+// another (or the same) chain can proceed — the paper's §4
+// mutual-exclusion and priority examples gone wrong. Pure constraint
+// cycles are GEM004's business and are not re-reported here; pure thread
+// "cycles" (a path revisiting a class) are legitimate iteration.
+type waitEdge struct {
+	from, to int
+	// ci is the constraint index for constraint edges, -1 for thread
+	// edges; tt names the thread type for thread edges.
+	ci int
+	tt string
+}
+
+func (a *deepAnalysis) checkDeadlock(g *pairGraph, lr *lint.Result) {
+	var edges []waitEdge
+	for _, c := range g.cons {
+		if c.doomed || !c.mandatory {
+			continue
+		}
+		src := c.sources[0]
+		for _, t := range c.targets {
+			if t == src || !g.edgeOK(src, t) {
+				continue
+			}
+			edges = append(edges, waitEdge{from: t, to: src, ci: c.ci, tt: ""})
+		}
+	}
+	for _, name := range sortedTypeNames(a.s.Threads()) {
+		for _, path := range thread.PathsByType(a.s.Threads())[name] {
+			for i := 0; i+1 < len(path); i++ {
+				from, to := g.resolve(path[i+1]), g.resolve(path[i])
+				// Only uniquely resolved stages give a mandatory wait; an
+				// ambiguous reference lets the instance advance via an
+				// alternative pair.
+				if len(from) != 1 || len(to) != 1 || from[0] == to[0] {
+					continue
+				}
+				edges = append(edges, waitEdge{from: from[0], to: to[0], ci: -1, tt: name})
+			}
+		}
+	}
+
+	d := order.NewDAG(len(g.pairs))
+	for _, e := range edges {
+		d.AddEdge(e.from, e.to)
+	}
+	for _, comp := range d.SCC() {
+		if len(comp) < 2 {
+			continue
+		}
+		in := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			in[v] = true
+		}
+		var inComp []waitEdge
+		hasThread, hasCon := false, false
+		for _, e := range edges {
+			if in[e.from] && in[e.to] {
+				inComp = append(inComp, e)
+				if e.ci >= 0 {
+					hasCon = true
+				} else {
+					hasThread = true
+				}
+			}
+		}
+		if !hasThread || !hasCon {
+			continue
+		}
+		// Anchor the diagnostic at the first (lowest-index) restriction
+		// participating in the cycle.
+		firstCI := -1
+		for _, e := range inComp {
+			if e.ci >= 0 && (firstCI < 0 || e.ci < firstCI) {
+				firstCI = e.ci
+			}
+		}
+		ec := lr.Constraints[firstCI]
+		a.warnAt(a.restrictionPos(ec.Restriction), lint.CodeDeadlock,
+			restrictionSubject(ec.Owner, ec.Restriction),
+			"possible static deadlock: %s", cycleDescription(g, lr, comp, inComp))
+	}
+}
+
+// cycleDescription walks one concrete cycle inside the component and
+// renders each wait, e.g.
+//
+//	a.Go waits for prior b.Go (restriction "r1" of x); b.Go follows
+//	b.Req on thread piB; b.Req waits for prior a.Go (restriction "r2" of x)
+func cycleDescription(g *pairGraph, lr *lint.Result, comp []int, edges []waitEdge) string {
+	next := make(map[int]waitEdge, len(comp))
+	// Deterministic successor choice: lowest target, thread edges tie-broken
+	// by type name, constraint edges by index.
+	for _, e := range edges {
+		cur, ok := next[e.from]
+		if !ok || e.to < cur.to || (e.to == cur.to && e.ci < cur.ci) {
+			next[e.from] = e
+		}
+	}
+	start := comp[0]
+	var parts []string
+	seen := map[int]bool{}
+	for v := start; !seen[v]; {
+		seen[v] = true
+		e, ok := next[v]
+		if !ok {
+			break
+		}
+		if e.ci >= 0 {
+			ec := lr.Constraints[e.ci]
+			parts = append(parts, g.pairs[e.from].String()+" waits for prior "+
+				g.pairs[e.to].String()+" ("+restrictionSubject(ec.Owner, ec.Restriction)+")")
+		} else {
+			parts = append(parts, g.pairs[e.from].String()+" follows "+
+				g.pairs[e.to].String()+" on thread "+e.tt)
+		}
+		v = e.to
+	}
+	return strings.Join(parts, "; ")
+}
+
+func sortedTypeNames(types []thread.Type) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, tt := range types {
+		if !seen[tt.Name] {
+			seen[tt.Name] = true
+			out = append(out, tt.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,31 @@
+package legal
+
+import (
+	"gem/internal/analyze"
+	"gem/internal/core"
+	"gem/internal/spec"
+)
+
+// fastPathHolds runs the deep analyzer over the specification (memoized
+// per Spec) and evaluates each restriction's emptiness guard against the
+// computation. A true entry means the restriction is statically
+// satisfied on this computation — every class and thread type whose
+// events could falsify it is absent — so its enumeration is skipped with
+// the verdict preserved (the guard calculus in internal/analyze is sound
+// for arbitrary computations, legal or not). Returns nil when no guard
+// fires, so callers pay nothing downstream.
+func fastPathHolds(s *spec.Spec, c *core.Computation, rs []spec.OwnedRestriction) []bool {
+	res := analyze.ForSpec(s)
+	var out []bool
+	for i, r := range rs {
+		g, ok := res.GuardFor(r.Owner, r.Name)
+		if !ok || !g.Decisive() || !g.HoldsOn(c) {
+			continue
+		}
+		if out == nil {
+			out = make([]bool, len(rs))
+		}
+		out[i] = true
+	}
+	return out
+}

@@ -106,6 +106,14 @@ type Options struct {
 	// The verdict and the set of failing restrictions are exactly the
 	// dynamic check's; only the violation messages differ.
 	Prelint bool
+	// FastPath consults the deep analyzer's per-restriction emptiness
+	// guards (analyze.ForSpec, memoized): a restriction whose guard holds
+	// on the computation — the classes and thread types that could
+	// falsify it are absent — is statically satisfied, so its history
+	// enumeration is skipped with the verdict preserved exactly. The dual
+	// of Prelint: Prelint short-circuits restrictions proven to fail,
+	// FastPath ones proven to hold.
+	FastPath bool
 }
 
 // Check verifies that the computation is legal with respect to the
@@ -138,7 +146,11 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 	if opts.Prelint {
 		pre = prelintViolations(s, c, rs)
 	}
-	for i, cx := range restrictionCounterexamples(s, c, opts, pre) {
+	var hold []bool
+	if opts.FastPath {
+		hold = fastPathHolds(s, c, rs)
+	}
+	for i, cx := range restrictionCounterexamples(s, c, opts, pre, hold) {
 		if pre != nil && pre[i] != nil {
 			if !add(*pre[i]) {
 				return res
@@ -170,11 +182,14 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 // history lattice, which is enumerated at most once. Restrictions with a
 // non-nil pre entry were already refuted by the lint pre-pass and are
 // not evaluated (they count against the violation budget in order, like
-// a found violation).
-func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options, pre []*Violation) []*logic.Counterexample {
+// a found violation); restrictions with a true hold entry were proved to
+// hold by the fast-path guard and are not evaluated either (their result
+// stays nil, exactly the verdict the enumeration would reach).
+func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options, pre []*Violation, hold []bool) []*logic.Counterexample {
 	rs := s.Restrictions()
 	cxs := make([]*logic.Counterexample, len(rs))
 	skip := func(i int) bool { return pre != nil && pre[i] != nil }
+	holds := func(i int) bool { return hold != nil && hold[i] }
 	w := logic.Workers(opts.Check.Parallelism, len(rs))
 	if w <= 1 {
 		// Sequential path: stop at the violation budget like the historical
@@ -182,7 +197,7 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options,
 		budget := opts.MaxViolations
 		found := 0
 		for i, r := range rs {
-			if !skip(i) {
+			if !skip(i) && !holds(i) {
 				cxs[i] = logic.Holds(r.F, c, opts.Check)
 			}
 			if cxs[i] != nil || skip(i) {
@@ -207,7 +222,7 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options,
 				if i >= len(rs) {
 					return
 				}
-				if skip(i) {
+				if skip(i) || holds(i) {
 					continue
 				}
 				cxs[i] = logic.Holds(rs[i].F, c, inner)

@@ -7,41 +7,84 @@ import (
 	"strings"
 	"testing"
 
+	"gem/internal/analyze"
 	"gem/internal/lint"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current lint output")
 
-// TestGolden runs the linter over every defective spec in testdata/ and
-// compares the rendered diagnostics against the sibling .golden file.
-// Regenerate with: go test ./internal/lint -run Golden -update
+// deepFixture reports whether the fixture exercises the deep analyzer:
+// the GEM009–GEM012 defect specs and every clean_* lookalike (which must
+// stay clean under the deep analyses, not just the shallow ones).
+func deepFixture(name string) bool {
+	if strings.HasPrefix(name, "clean_") {
+		return true
+	}
+	switch name[:strings.Index(name, "_")] {
+	case "gem009", "gem010", "gem011", "gem012":
+		return true
+	}
+	return false
+}
+
+// fixtureDiags runs the analysis a fixture is named for and returns the
+// rendered diagnostics.
+func fixtureDiags(t *testing.T, path string) string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".gem")
+	var diags []lint.Diagnostic
+	if deepFixture(name) {
+		res, err := analyze.AnalyzeSource(string(src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		diags = res.All()
+	} else {
+		res, err := lint.AnalyzeSource(string(src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		diags = res.Diags
+	}
+	var sb strings.Builder
+	lint.Print(&sb, filepath.Base(path), diags)
+	return sb.String()
+}
+
+// TestGolden runs the linter over every spec in testdata/ and compares
+// the rendered diagnostics against the sibling .golden file. Defective
+// fixtures (gemNNN_*) must surface the code they are named for; clean_*
+// fixtures superficially resemble a deep defect and must produce no
+// diagnostics at all. Regenerate with:
+// go test ./internal/lint -run Golden -update
 func TestGolden(t *testing.T) {
 	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.gem"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fixtures) < 8 {
-		t.Fatalf("expected at least 8 fixtures in testdata/, found %d", len(fixtures))
+	if len(fixtures) < 16 {
+		t.Fatalf("expected at least 16 fixtures in testdata/, found %d", len(fixtures))
 	}
 	for _, path := range fixtures {
 		name := strings.TrimSuffix(filepath.Base(path), ".gem")
 		t.Run(name, func(t *testing.T) {
-			src, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := lint.AnalyzeSource(string(src))
-			if err != nil {
-				t.Fatalf("parse %s: %v", path, err)
-			}
-			var sb strings.Builder
-			lint.Print(&sb, filepath.Base(path), res.Diags)
-			got := sb.String()
+			got := fixtureDiags(t, path)
 
-			// Every fixture is named after the code it must surface.
-			wantCode := strings.ToUpper(name[:strings.Index(name, "_")])
-			if !strings.Contains(got, wantCode) {
-				t.Errorf("fixture %s did not surface %s; diagnostics:\n%s", path, wantCode, got)
+			if strings.HasPrefix(name, "clean_") {
+				if got != "" {
+					t.Errorf("clean fixture %s produced diagnostics:\n%s", path, got)
+				}
+			} else {
+				// Every defective fixture is named after the code it must
+				// surface.
+				wantCode := strings.ToUpper(name[:strings.Index(name, "_")])
+				if !strings.Contains(got, wantCode) {
+					t.Errorf("fixture %s did not surface %s; diagnostics:\n%s", path, wantCode, got)
+				}
 			}
 
 			goldenPath := strings.TrimSuffix(path, ".gem") + ".golden"

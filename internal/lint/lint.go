@@ -55,6 +55,30 @@ const (
 	// CodeUnboundVar: a formula uses an event or thread variable that no
 	// enclosing quantifier binds (dynamic evaluation would panic).
 	CodeUnboundVar Code = "GEM008"
+
+	// The deep-analysis codes below are produced by internal/analyze
+	// (gemlint -deep), which reasons about *interactions between*
+	// restrictions over the abstract enable graph, rather than about one
+	// restriction in isolation.
+
+	// CodeContradiction: the restriction set is statically unsatisfiable —
+	// one restriction demands an event of a class the other restrictions
+	// exclude from every legal computation, so no computation satisfies
+	// the specification and all verification against it is vacuous.
+	CodeContradiction Code = "GEM009"
+	// CodeDeadlock: a cyclic wait among prerequisites/JOINs across thread
+	// chains — following each class's required enabler and each thread
+	// path's stage order leads back to the starting class.
+	CodeDeadlock Code = "GEM010"
+	// CodeUnreachable: an event class no legal enable chain can reach:
+	// its required enablers are themselves unproducible (transitively, via
+	// the access relation), even though each constraint looks fine in
+	// isolation.
+	CodeUnreachable Code = "GEM011"
+	// CodeRedundant: a restriction that is subsumed by another — a
+	// structurally identical formula, or a prerequisite constraint
+	// re-stating one another restriction already imposes.
+	CodeRedundant Code = "GEM012"
 )
 
 // Severity ranks diagnostics.
@@ -163,6 +187,56 @@ func AnalyzeSource(src string) (*Result, error) {
 	return analyze(s, marks), nil
 }
 
+// AnalyzeMarked analyzes an already-parsed specification, attaching
+// source positions from the given map (which may be nil). It is the
+// entry point for downstream analyses — internal/analyze — that need
+// the extracted constraints and positioned diagnostics for an IR they
+// already hold.
+func AnalyzeMarked(s *spec.Spec, marks *gemlang.SourceMap) *Result {
+	return analyze(s, marks)
+}
+
+// PosOf resolves the source position recorded for a named construct of
+// the given kind ("element", "group", "thread" or "restriction").
+// Returns the zero Pos when the map is nil or has no entry. Exposed so
+// downstream analyzers position their diagnostics identically to lint.
+func PosOf(marks *gemlang.SourceMap, kind, name string) Pos {
+	a := analysis{marks: marks}
+	switch kind {
+	case "element":
+		return a.posOf(inElement, name)
+	case "group":
+		return a.posOf(inGroup, name)
+	case "thread":
+		return a.posOf(inThread, name)
+	case "restriction":
+		return a.posOf(inRestriction, name)
+	}
+	return Pos{}
+}
+
+// SortDiagnostics orders diagnostics by position (unknown positions
+// last), then code, then subject — the canonical stable order every
+// producer of diagnostics uses.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := ds[i].Pos, ds[j].Pos
+		if pi.IsZero() != pj.IsZero() {
+			return !pi.IsZero()
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Col != pj.Col {
+			return pi.Col < pj.Col
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		return ds[i].Subject < ds[j].Subject
+	})
+}
+
 var specCache sync.Map // *spec.Spec -> *Result
 
 // ForSpec memoizes Analyze per Spec value; the legality checker calls it
@@ -188,27 +262,8 @@ func analyze(s *spec.Spec, marks *gemlang.SourceMap) *Result {
 	return a.res
 }
 
-// sortDiags orders diagnostics by position (unknown positions last),
-// then code, then subject — a stable, user-friendly order.
-func (a *analysis) sortDiags() {
-	ds := a.res.Diags
-	sort.SliceStable(ds, func(i, j int) bool {
-		pi, pj := ds[i].Pos, ds[j].Pos
-		if pi.IsZero() != pj.IsZero() {
-			return !pi.IsZero()
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Col != pj.Col {
-			return pi.Col < pj.Col
-		}
-		if ds[i].Code != ds[j].Code {
-			return ds[i].Code < ds[j].Code
-		}
-		return ds[i].Subject < ds[j].Subject
-	})
-}
+// sortDiags orders diagnostics canonically (see SortDiagnostics).
+func (a *analysis) sortDiags() { SortDiagnostics(a.res.Diags) }
 
 // Print writes the diagnostics in the canonical one-line-per-finding
 // text format, prefixing each line with the file name when non-empty.

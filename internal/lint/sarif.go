@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// FileDiagnostic pairs a diagnostic with the file it was found in (empty
+// when the source had no file, e.g. stdin).
+type FileDiagnostic struct {
+	File string `json:"file,omitempty"`
+	Diagnostic
+}
+
+// ruleDescriptions gives each stable code a one-line SARIF rule
+// description. Append-only, like the codes themselves.
+var ruleDescriptions = map[Code]string{
+	CodeDanglingElement: "reference to an undeclared element",
+	CodeDanglingClass:   "reference to an undeclared event class",
+	CodeDanglingParam:   "read of an undeclared event parameter",
+	CodePrereqCycle:     "unsatisfiable prerequisite structure (cycle or no well-founded start)",
+	CodeAccessForbidden: "required enable edge forbidden by the group access relation",
+	CodeDeadDecl:        "declaration never referenced",
+	CodeVacuous:         "vacuously true formula",
+	CodeUnboundVar:      "unbound event or thread variable",
+	CodeContradiction:   "statically unsatisfiable restriction set (no legal computation exists)",
+	CodeDeadlock:        "cyclic wait among prerequisites across thread chains",
+	CodeUnreachable:     "event class no legal enable chain can produce",
+	CodeRedundant:       "restriction subsumed by another restriction",
+}
+
+// The SARIF 2.1.0 subset gemlint emits. Field order follows the struct
+// declarations, so output is byte-stable for a given diagnostic slice.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log with one run.
+// Only the rules that actually fired are listed, sorted by id; results
+// keep the input order (callers sort with SortDiagnostics first).
+func WriteSARIF(w io.Writer, diags []FileDiagnostic) error {
+	fired := map[Code]bool{}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		fired[d.Code] = true
+		level := "warning"
+		if d.Severity == SeverityError {
+			level = "error"
+		}
+		r := sarifResult{
+			RuleID:  string(d.Code),
+			Level:   level,
+			Message: sarifMessage{Text: d.Subject + ": " + d.Message},
+		}
+		if d.File != "" {
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+			if !d.Pos.IsZero() {
+				phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+			}
+			r.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		}
+		results = append(results, r)
+	}
+	rules := make([]sarifRule, 0, len(fired))
+	for code := range fired {
+		rules = append(rules, sarifRule{
+			ID:               string(code),
+			ShortDescription: sarifMessage{Text: ruleDescriptions[code]},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "gemlint",
+				InformationURI: "https://example.invalid/gem",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

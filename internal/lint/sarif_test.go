@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gem/internal/analyze"
+	"gem/internal/lint"
+)
+
+// TestSARIFCorpus deep-analyzes the whole fixture corpus and golden-tests
+// the combined SARIF 2.1.0 log: one run, rules for every code that fired,
+// results in the canonical (file, position, code, subject) order.
+// Regenerate with: go test ./internal/lint -run SARIF -update
+func TestSARIFCorpus(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.gem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(fixtures)
+	var all []lint.FileDiagnostic
+	for _, path := range fixtures {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := analyze.AnalyzeSource(string(src))
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, d := range res.All() {
+			all = append(all, lint.FileDiagnostic{File: filepath.Base(path), Diagnostic: d})
+		}
+	}
+
+	var sb strings.Builder
+	if err := lint.WriteSARIF(&sb, all); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	for _, code := range []string{"GEM009", "GEM010", "GEM011", "GEM012"} {
+		if !strings.Contains(got, `"id": "`+code+`"`) {
+			t.Errorf("SARIF corpus missing rule %s", code)
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "corpus.sarif.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("SARIF corpus mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSARIFDeterministic renders the same diagnostics twice and requires
+// byte-identical output.
+func TestSARIFDeterministic(t *testing.T) {
+	diags := []lint.FileDiagnostic{
+		{File: "a.gem", Diagnostic: lint.Diagnostic{Code: lint.CodePrereqCycle,
+			Severity: lint.SeverityError, Subject: "restriction \"r\" of a", Message: "cycle",
+			Pos: lint.Pos{Line: 3, Col: 1}}},
+		{File: "b.gem", Diagnostic: lint.Diagnostic{Code: lint.CodeDeadDecl,
+			Severity: lint.SeverityWarning, Subject: "element x", Message: "unused"}},
+	}
+	var one, two strings.Builder
+	if err := lint.WriteSARIF(&one, diags); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.WriteSARIF(&two, diags); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("WriteSARIF output is not deterministic")
+	}
+	if !strings.Contains(one.String(), `"version": "2.1.0"`) {
+		t.Error("SARIF output missing version 2.1.0")
+	}
+}

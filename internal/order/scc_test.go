@@ -1,0 +1,58 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSCC(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  [][]int
+	}{
+		{"empty", 0, nil, nil},
+		{"singletons", 3, nil, [][]int{{0}, {1}, {2}}},
+		{"chain", 3, [][2]int{{0, 1}, {1, 2}}, [][]int{{0}, {1}, {2}}},
+		{"two-cycle", 2, [][2]int{{0, 1}, {1, 0}}, [][]int{{0, 1}}},
+		{"self-loop", 2, [][2]int{{0, 0}}, [][]int{{0}, {1}}},
+		{
+			"mixed", 6,
+			[][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}},
+			[][]int{{0, 1, 2}, {3, 4, 5}},
+		},
+		{
+			"nested-entry", 4,
+			[][2]int{{3, 0}, {0, 1}, {1, 0}, {1, 2}},
+			[][]int{{0, 1}, {2}, {3}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := NewDAG(tt.n)
+			for _, e := range tt.edges {
+				d.AddEdge(e[0], e[1])
+			}
+			got := d.SCC()
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Fatalf("SCC() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSCCDeterministicAcrossEdgeOrder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {4, 2}, {3, 4}, {4, 3}}
+	d1 := NewDAG(5)
+	for _, e := range edges {
+		d1.AddEdge(e[0], e[1])
+	}
+	d2 := NewDAG(5)
+	for i := len(edges) - 1; i >= 0; i-- {
+		d2.AddEdge(edges[i][0], edges[i][1])
+	}
+	if got1, got2 := d1.SCC(), d2.SCC(); !reflect.DeepEqual(got1, got2) {
+		t.Fatalf("SCC depends on edge insertion order: %v vs %v", got1, got2)
+	}
+}

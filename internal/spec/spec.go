@@ -143,6 +143,26 @@ func (s *Spec) GroupNames() []string {
 // Threads returns the declared thread types.
 func (s *Spec) Threads() []thread.Type { return s.threads }
 
+// ClassPairs returns every declared (element, event-class) pair as a
+// fully qualified class reference, sorted by element then class. This is
+// the node set of the deep analyzer's abstract enable graph.
+func (s *Spec) ClassPairs() []core.ClassRef {
+	var out []core.ClassRef
+	for _, name := range s.ElementNames() {
+		d := s.elements[name]
+		for _, ec := range d.Events {
+			out = append(out, core.Ref(name, ec.Name))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Element != out[j].Element {
+			return out[i].Element < out[j].Element
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
 // Restrictions returns all restrictions — global, element-level, and
 // group-level — each tagged with its owner, in deterministic order.
 func (s *Spec) Restrictions() []OwnedRestriction {

@@ -64,6 +64,21 @@ func Apply(c *core.Computation, types ...Type) []Instance {
 	return out
 }
 
+// PathsByType groups the paths of the given thread types by type name,
+// preserving declaration order of the alternatives. Types sharing a Name
+// are alternative paths of one thread type (see Apply); the deep
+// analyzer consumes the grouped view to reason per type.
+func PathsByType(types []Type) map[string][][]core.ClassRef {
+	out := make(map[string][][]core.ClassRef)
+	for _, tt := range types {
+		if len(tt.Path) == 0 {
+			continue
+		}
+		out[tt.Name] = append(out[tt.Name], tt.Path)
+	}
+	return out
+}
+
 // traceFrom follows the thread path from the head event, collecting every
 // event the identifier is passed to. A (event, step) pair is visited at
 // most once.

@@ -255,9 +255,11 @@ func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts lo
 		return Result{ProjectionErr: err}
 	}
 	thread.Apply(proj.Comp, problem.Threads()...)
-	// Prelint: the gemlint static pre-pass short-circuits restrictions it
-	// proved statically unsatisfiable (same verdict, no enumeration).
-	res := legal.Check(problem, proj.Comp, legal.Options{Check: opts, Prelint: true})
+	// Static pre-passes, both verdict-preserving: Prelint short-circuits
+	// restrictions the lint analyzer proved statically unsatisfiable;
+	// FastPath skips enumeration for restrictions the deep analyzer's
+	// emptiness guards prove to hold on this projection.
+	res := legal.Check(problem, proj.Comp, legal.Options{Check: opts, Prelint: true, FastPath: true})
 	return Result{Projection: proj, Legality: res}
 }
 

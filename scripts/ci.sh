@@ -16,10 +16,16 @@ if command -v staticcheck >/dev/null 2>&1; then
 else
 	echo "==> staticcheck not installed, skipping"
 fi
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "==> govulncheck ./..."
+	govulncheck ./...
+else
+	echo "==> govulncheck not installed, skipping"
+fi
 echo "==> go build ./..."
 go build ./...
-echo "==> gemlint examples/specs"
-go run ./cmd/gemlint examples/specs/*.gem
+echo "==> gemlint -deep examples/specs"
+go run ./cmd/gemlint -deep examples/specs/*.gem
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> bench smoke (-short, one iteration per benchmark)"
