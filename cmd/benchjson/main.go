@@ -42,9 +42,10 @@ type Host struct {
 // Delta compares one benchmark against the previous record; ratios are
 // new/old, so values below 1 are improvements.
 type Delta struct {
-	Name       string   `json:"name"`
-	NsRatio    *float64 `json:"ns_ratio,omitempty"`
-	BytesRatio *float64 `json:"bytes_ratio,omitempty"`
+	Name        string   `json:"name"`
+	NsRatio     *float64 `json:"ns_ratio,omitempty"`
+	BytesRatio  *float64 `json:"bytes_ratio,omitempty"`
+	AllocsRatio *float64 `json:"allocs_ratio,omitempty"`
 }
 
 // Report is the full BENCH_<date>.json document.
@@ -65,8 +66,15 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	prev := fs.String("prev", "", "previous BENCH_*.json record to compute the delta section against")
+	var asserts assertList
+	fs.Var(&asserts, "assert",
+		"fail unless the named benchmark's ns/op and allocs/op ratios vs -prev "+
+			"stay within the bound, e.g. 'BenchmarkE4MonitorRW/j1<=1.10' (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(asserts) > 0 && *prev == "" {
+		return fmt.Errorf("-assert needs -prev to compare against")
 	}
 	report, err := parse(in)
 	if err != nil {
@@ -84,7 +92,69 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	// Assertions run after the record is written, so a regression still
+	// leaves the full record behind for diagnosis; only the exit status
+	// reports it.
+	return checkAsserts(asserts, report.Delta)
+}
+
+// assertion is one -assert bound: the benchmark's new/old ns and allocs
+// ratios must not exceed Max.
+type assertion struct {
+	Name string
+	Max  float64
+}
+
+type assertList []assertion
+
+func (a *assertList) String() string {
+	parts := make([]string, len(*a))
+	for i, s := range *a {
+		parts[i] = fmt.Sprintf("%s<=%g", s.Name, s.Max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (a *assertList) Set(v string) error {
+	name, bound, ok := strings.Cut(v, "<=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME<=RATIO, got %q", v)
+	}
+	max, err := strconv.ParseFloat(bound, 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("bad ratio in %q", v)
+	}
+	*a = append(*a, assertion{Name: name, Max: max})
+	return nil
+}
+
+// checkAsserts verifies every -assert bound against the delta section.
+// A benchmark with no delta entry fails: an assertion that silently
+// never compares anything would defend nothing.
+func checkAsserts(asserts []assertion, delta []Delta) error {
+	byName := make(map[string]Delta, len(delta))
+	for _, d := range delta {
+		byName[d.Name] = d
+	}
+	for _, a := range asserts {
+		d, ok := byName[a.Name]
+		if !ok {
+			return fmt.Errorf("assert %s: benchmark not present in both records", a.Name)
+		}
+		if d.NsRatio == nil {
+			return fmt.Errorf("assert %s: no ns/op ratio to compare", a.Name)
+		}
+		if *d.NsRatio > a.Max {
+			return fmt.Errorf("assert %s: ns/op ratio %.3f exceeds bound %g", a.Name, *d.NsRatio, a.Max)
+		}
+		if d.AllocsRatio != nil && *d.AllocsRatio > a.Max {
+			return fmt.Errorf("assert %s: allocs/op ratio %.3f exceeds bound %g", a.Name, *d.AllocsRatio, a.Max)
+		}
+	}
+	return nil
 }
 
 // parse reads `go test -bench` text output: header lines (goos:, cpu:,
@@ -206,7 +276,11 @@ func deltas(cur, old []Bench) []Delta {
 			r := *b.BytesPerOp / *p.BytesPerOp
 			d.BytesRatio = &r
 		}
-		if d.NsRatio != nil || d.BytesRatio != nil {
+		if b.AllocsPerOp != nil && p.AllocsPerOp != nil && *p.AllocsPerOp > 0 {
+			r := *b.AllocsPerOp / *p.AllocsPerOp
+			d.AllocsRatio = &r
+		}
+		if d.NsRatio != nil || d.BytesRatio != nil || d.AllocsRatio != nil {
 			out = append(out, d)
 		}
 	}

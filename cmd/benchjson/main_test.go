@@ -122,6 +122,60 @@ func TestDeltaAgainstCurrentFormat(t *testing.T) {
 	}
 }
 
+// TestAssertBounds: -assert passes when the ns/op and allocs/op ratios
+// stay within the bound, fails when either exceeds it, and always
+// writes the record first so a regression still leaves evidence.
+func TestAssertBounds(t *testing.T) {
+	prev := filepath.Join(t.TempDir(), "BENCH_old.json")
+	// Previous record: E1 at 6358 ns/op and 19 allocs/op — identical to
+	// sampleBench, so the self-ratio is exactly 1.
+	old := `[
+  {"name": "BenchmarkE1GroupAccess", "iterations": 100, "ns_per_op": 6358, "allocs_per_op": 19},
+  {"name": "BenchmarkE7Matrix/j1", "iterations": 1, "ns_per_op": 1517323724, "allocs_per_op": 23868769}
+]`
+	if err := os.WriteFile(prev, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{"-prev", prev, "-assert", "BenchmarkE1GroupAccess<=1.02"},
+		strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Errorf("in-bound assertion failed: %v", err)
+	}
+
+	// E7 doubled (old record halved its time): a 1.10 bound must fail,
+	// and the record must have been written anyway.
+	out.Reset()
+	err = run([]string{"-prev", prev, "-assert", "BenchmarkE7Matrix/j1<=1.10"},
+		strings.NewReader(sampleBench), &out)
+	if err == nil || !strings.Contains(err.Error(), "ns/op ratio") {
+		t.Errorf("regressed assertion = %v, want ns/op ratio failure", err)
+	}
+	var report Report
+	if jerr := json.Unmarshal(out.Bytes(), &report); jerr != nil || len(report.Delta) == 0 {
+		t.Errorf("record not written before the failing assertion: %v", jerr)
+	}
+
+	// An assertion naming a benchmark absent from the delta fails loudly.
+	err = run([]string{"-prev", prev, "-assert", "BenchmarkNope<=1.10"},
+		strings.NewReader(sampleBench), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Errorf("missing-benchmark assertion = %v, want not-present failure", err)
+	}
+}
+
+func TestAssertFlagValidation(t *testing.T) {
+	if err := run([]string{"-assert", "BenchmarkX<=1.1"}, strings.NewReader(sampleBench), &bytes.Buffer{}); err == nil {
+		t.Error("-assert without -prev must fail")
+	}
+	for _, bad := range []string{"NoBound", "<=1.1", "BenchmarkX<=0", "BenchmarkX<=zero"} {
+		if err := run([]string{"-prev", "x.json", "-assert", bad}, strings.NewReader(sampleBench), &bytes.Buffer{}); err == nil {
+			t.Errorf("malformed -assert %q accepted", bad)
+		}
+	}
+}
+
 func TestMissingPreviousFileErrors(t *testing.T) {
 	err := run([]string{"-prev", filepath.Join(t.TempDir(), "nope.json")},
 		strings.NewReader(sampleBench), &bytes.Buffer{})

@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	gemc [-format] [-lint] [-deep] FILE.gem
+//	gemc [-format] [-lint] [-deep] [-trace=FILE] [-stats] FILE.gem
+//
+// -trace writes a Chrome trace-event JSON file and -stats prints
+// span/counter statistics to stderr. Because gemc accepts its flags in
+// any position, -trace must use the -trace=FILE form.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"gem/internal/analyze"
 	"gem/internal/gemlang"
 	"gem/internal/lint"
+	"gem/internal/obs"
 	"gem/internal/spec"
 )
 
@@ -32,23 +37,27 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("gemc", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	format := fs.Bool("format", false, "re-emit the specification as canonical GEM source")
 	lintFlag := fs.Bool("lint", false, "run the gemlint static analyses; errors fail the compile")
 	deepFlag := fs.Bool("deep", false, "run the deep semantic analyses too (implies -lint)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (use -trace=FILE)")
+	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
 	usage := func() error {
 		var b strings.Builder
-		fmt.Fprintln(&b, "usage: gemc [-format] [-lint] [-deep] FILE.gem")
+		fmt.Fprintln(&b, "usage: gemc [-format] [-lint] [-deep] [-trace=FILE] [-stats] FILE.gem")
 		fs.SetOutput(&b)
 		fs.PrintDefaults()
 		fs.SetOutput(io.Discard)
 		return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
 	}
-	// All gemc flags are boolean, so flags and the file argument compose
-	// in any order: pull the flag-shaped arguments forward before
-	// parsing (the stdlib parser stops at the first positional).
+	// gemc flags and the file argument compose in any order: pull the
+	// flag-shaped arguments forward before parsing (the stdlib parser
+	// stops at the first positional). This is why value-carrying flags
+	// must use the -flag=value form — a detached value would be taken
+	// for the file argument.
 	var flags, pos []string
 	for _, a := range args {
 		if strings.HasPrefix(a, "-") && a != "-" {
@@ -62,6 +71,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if fs.NArg() != 1 {
 		return usage()
+	}
+	if *trace != "" || *stats {
+		obs.Enable()
+		defer func() {
+			if ferr := obs.Flush(*trace, *stats, os.Stderr); ferr != nil && err == nil {
+				err = ferr
+			}
+		}()
 	}
 	file := fs.Arg(0)
 	src, err := os.ReadFile(file)

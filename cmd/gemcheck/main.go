@@ -10,13 +10,22 @@
 // matrix; -j1 reproduces the sequential engine exactly. The -engine flag
 // selects the temporal evaluation engine (auto, lattice or seq; all
 // report identical verdicts), and -cpuprofile/-memprofile write pprof
-// profiles for performance work.
+// profiles for performance work. -trace writes a Chrome trace-event
+// JSON file (load in chrome://tracing or Perfetto) and -stats prints
+// span/counter statistics to stderr.
+//
+// SIGINT (Ctrl-C) interrupts a long rw matrix cleanly: the exploration
+// and the checking pool stop promptly, the command exits non-zero with
+// an "interrupted (partial results)" error, and any requested profile,
+// trace, and stats files are still flushed and parseable.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
@@ -27,6 +36,7 @@ import (
 	"gem/internal/lint"
 	"gem/internal/logic"
 	"gem/internal/monitor"
+	"gem/internal/obs"
 	"gem/internal/problems/dbupdate"
 	"gem/internal/problems/life"
 	"gem/internal/problems/rw"
@@ -41,12 +51,14 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gemcheck", flag.ContinueOnError)
 	j := fs.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
 	engineName := fs.String("engine", "auto", "temporal evaluation engine: auto, lattice or seq")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,22 +69,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *trace != "" || *stats {
+		obs.Enable()
+	}
+	// Registered before the CPU profile starts so the LIFO defer order
+	// stops the profile first, then flushes the trace/stats — an
+	// interrupted run still produces a parseable profile and a valid
+	// (truncated) trace.
+	defer func() {
+		if ferr := obs.Flush(*trace, *stats, os.Stderr); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
 		return err
 	}
 	defer stopCPU()
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
 	switch fs.Arg(0) {
 	case "access":
 		err = accessTable()
 	case "histories":
 		err = histories()
 	case "rw":
-		err = rwMatrix(*j, engine)
+		err = rwMatrix(ctx, *j, engine)
 	case "distributed":
 		err = distributed()
 	default:
 		return fmt.Errorf("unknown check %q", fs.Arg(0))
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("interrupted (partial results): %w", context.Cause(ctx))
 	}
 	if err != nil {
 		return err
@@ -157,13 +186,25 @@ func histories() error {
 // property set. With j > 1 each workload's runs are streamed out of the
 // simulator into a pool of property-checking workers; the aggregated
 // booleans are order-independent, so the table is identical at any j.
-func rwMatrix(j int, engine logic.Engine) error {
+// A cancelled ctx stops the exploration and the workers promptly; the
+// caller reports the interruption.
+func rwMatrix(ctx context.Context, j int, engine logic.Engine) error {
 	// Pre-flight: the Readers/Writers problem specification itself must
 	// be statically well-formed before any variant is explored.
 	if s, err := rw.ProblemSpec([]string{"r1", "r2", "w1"}, true); err != nil {
 		return err
 	} else if err := prelint("readers/writers", s); err != nil {
 		return err
+	}
+	done := logic.Done(ctx)
+	// holds evaluates one property under its own span so the trace and
+	// -stats attribute engine time per property, like the restriction
+	// spans in legal.Check.
+	holds := func(name string, f logic.Formula, comp *core.Computation) bool {
+		pctx, sp := obs.StartSpan(ctx, name)
+		cx := logic.Holds(f, comp, logic.CheckOptions{Engine: engine, Ctx: pctx})
+		sp.End()
+		return cx == nil
 	}
 	workloads := []rw.Workload{{Readers: 2, Writers: 1}, {Readers: 1, Writers: 2}}
 	fmt.Printf("%-25s %6s %7s %7s %7s %8s\n", "VARIANT", "RUNS", "MUTEX", "R-PRIO", "W-PRIO", "SHARING")
@@ -178,14 +219,16 @@ func rwMatrix(j int, engine logic.Engine) error {
 				go func() {
 					defer wg.Done()
 					for comp := range runs {
-						opts := logic.CheckOptions{Engine: engine}
-						if logic.Holds(rw.MutualExclusionProp(), comp, opts) != nil {
+						if logic.Cancelled(done) {
+							continue // drain so the producer never blocks
+						}
+						if !holds("property rw/mutual-exclusion", rw.MutualExclusionProp(), comp) {
 							meViol.Store(true)
 						}
-						if logic.Holds(rw.ReadersPriorityProp(), comp, opts) != nil {
+						if !holds("property rw/readers-priority", rw.ReadersPriorityProp(), comp) {
 							rpViol.Store(true)
 						}
-						if logic.Holds(rw.WritersPriorityProp(), comp, opts) != nil {
+						if !holds("property rw/writers-priority", rw.WritersPriorityProp(), comp) {
 							wpViol.Store(true)
 						}
 						if logic.HoldsAtFull(rw.ReadsOverlap(), comp) == nil {
@@ -194,7 +237,7 @@ func rwMatrix(j int, engine logic.Engine) error {
 					}
 				}()
 			}
-			_, err := monitor.ExploreStream(rw.NewProgram(v, w), monitor.ExploreOptions{}, func(r monitor.Run) bool {
+			_, err := monitor.ExploreStream(rw.NewProgram(v, w), monitor.ExploreOptions{Ctx: ctx}, func(r monitor.Run) bool {
 				total++
 				runs <- r.Comp
 				return true

@@ -34,6 +34,7 @@ import (
 
 	"gem/internal/analyze"
 	"gem/internal/lint"
+	"gem/internal/obs"
 )
 
 func main() {
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (alias for -format=json)")
 	format := fs.String("format", "", "output format: text, json, or sarif (default text)")
 	deep := fs.Bool("deep", false, "run the deep semantic analyses (GEM009-GEM012)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: gemlint [-deep] [-format=text|json|sarif] FILE.gem...")
 		fs.PrintDefaults()
@@ -74,6 +77,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "gemlint: unknown -format %q (want text, json, or sarif)\n", *format)
 		return 2
+	}
+
+	if *trace != "" || *stats {
+		obs.Enable()
+		defer func() {
+			if err := obs.Flush(*trace, *stats, stderr); err != nil {
+				fmt.Fprintf(stderr, "gemlint: %v\n", err)
+			}
+		}()
 	}
 
 	// Analyze every file concurrently; results land in the slot of their

@@ -16,17 +16,27 @@
 // lattice forces the fixpoint evaluator for its fragment, and seq is the
 // historical sequence engine. All engines report the same verdicts and
 // counterexamples. -cpuprofile and -memprofile write pprof profiles for
-// performance work.
+// performance work; -trace writes a Chrome trace-event JSON file (load
+// in chrome://tracing or Perfetto) and -stats prints span/counter
+// statistics to stderr.
+//
+// SIGINT (Ctrl-C) interrupts the run cleanly: exploration and checking
+// stop promptly, the command exits non-zero with an "interrupted"
+// error, and any requested profile, trace, and stats files are still
+// flushed — so a too-long run can be interrupted and profiled anyway.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"gem/internal/check"
 	"gem/internal/logic"
+	"gem/internal/obs"
 	"gem/internal/profiling"
 )
 
@@ -37,12 +47,14 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gemverify", flag.ContinueOnError)
 	j := fs.Int("j", runtime.NumCPU(), "checking parallelism (1 = sequential engine)")
 	engineName := fs.String("engine", "auto", "temporal evaluation engine: auto, lattice or seq")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
+	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,13 +62,26 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *trace != "" || *stats {
+		obs.Enable()
+	}
+	// Registered before the CPU profile starts so the LIFO defer order
+	// stops the profile first, then flushes the trace/stats — both run
+	// even when the context below was cancelled mid-matrix.
+	defer func() {
+		if ferr := obs.Flush(*trace, *stats, os.Stderr); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
 		return err
 	}
 	defer stopCPU()
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
 
-	opts := check.Options{Parallelism: *j, Engine: engine}
+	opts := check.Options{Parallelism: *j, Engine: engine, Ctx: ctx}
 	if err := check.RunMatrix(os.Stdout, opts); err != nil {
 		return err
 	}

@@ -1,0 +1,126 @@
+// Command tracecheck validates a Chrome trace-event JSON file of the
+// shape internal/obs emits: a top-level traceEvents array of complete
+// ("X"), counter ("C"), and metadata ("M") events. It is the CI smoke
+// gate for the -trace flag on the gem CLIs — scripts/ci.sh runs the
+// CLIs with -trace and then feeds the files through tracecheck, so a
+// regression that produces malformed JSON or structurally invalid
+// events (a span without a duration, a non-positive tid, a counter
+// without a value) fails the build before anyone opens Perfetto.
+//
+// Usage:
+//
+//	tracecheck FILE.json...
+//
+// For each file it prints one line, e.g.
+//
+//	trace.json: ok (217 spans, 12 counters)
+//
+// and exits non-zero if any file is invalid. -min-spans=N additionally
+// requires at least N span events per file, so a pipeline that silently
+// stopped emitting spans is caught too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// event mirrors the trace-event fields tracecheck validates. Unknown
+// fields are ignored so the checker keeps working if obs adds more.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type file struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	minSpans := fs.Int("min-spans", 0, "fail unless each file holds at least this many span events")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-spans=N] FILE.json...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		spans, counters, err := checkFile(path, *minSpans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: ok (%d spans, %d counters)\n", path, spans, counters)
+	}
+	return exit
+}
+
+func checkFile(path string, minSpans int) (spans, counters int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var tf file
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return 0, 0, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return 0, 0, fmt.Errorf("no traceEvents array")
+	}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return 0, 0, fmt.Errorf("event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts == nil || ev.Dur == nil {
+				return 0, 0, fmt.Errorf("event %d (%q): span without ts/dur", i, ev.Name)
+			}
+			if *ev.Ts < 0 || *ev.Dur < 0 {
+				return 0, 0, fmt.Errorf("event %d (%q): negative ts or dur", i, ev.Name)
+			}
+			if ev.Tid <= 0 {
+				return 0, 0, fmt.Errorf("event %d (%q): span with non-positive tid %d", i, ev.Name, ev.Tid)
+			}
+		case "C":
+			counters++
+			if ev.Args == nil {
+				return 0, 0, fmt.Errorf("event %d (%q): counter without args.value", i, ev.Name)
+			}
+			if _, ok := ev.Args["value"]; !ok {
+				return 0, 0, fmt.Errorf("event %d (%q): counter without args.value", i, ev.Name)
+			}
+		case "M":
+			// metadata: name + pid is enough
+		default:
+			return 0, 0, fmt.Errorf("event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Pid == nil {
+			return 0, 0, fmt.Errorf("event %d (%q): missing pid", i, ev.Name)
+		}
+	}
+	if spans < minSpans {
+		return 0, 0, fmt.Errorf("only %d span event(s), want at least %d", spans, minSpans)
+	}
+	return spans, counters, nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFileValid(t *testing.T) {
+	path := write(t, "ok.json", `{
+  "traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "gem"}},
+    {"name": "parse", "ph": "X", "ts": 10.5, "dur": 3.25, "pid": 1, "tid": 1},
+    {"name": "lattice.builds", "ph": "C", "ts": 20, "pid": 1, "args": {"value": 7}}
+  ],
+  "displayTimeUnit": "ms"
+}`)
+	spans, counters, err := checkFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 1 || counters != 1 {
+		t.Errorf("got %d spans, %d counters, want 1, 1", spans, counters)
+	}
+}
+
+func TestCheckFileRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"truncated JSON":    `{"traceEvents": [{"name": "p"`,
+		"no traceEvents":    `{"events": []}`,
+		"span without dur":  `{"traceEvents": [{"name": "s", "ph": "X", "ts": 1, "pid": 1, "tid": 1}]}`,
+		"span with tid 0":   `{"traceEvents": [{"name": "s", "ph": "X", "ts": 1, "dur": 1, "pid": 1, "tid": 0}]}`,
+		"negative dur":      `{"traceEvents": [{"name": "s", "ph": "X", "ts": 1, "dur": -2, "pid": 1, "tid": 1}]}`,
+		"counter w/o value": `{"traceEvents": [{"name": "c", "ph": "C", "ts": 1, "pid": 1, "args": {}}]}`,
+		"unknown phase":     `{"traceEvents": [{"name": "e", "ph": "Z", "ts": 1, "pid": 1}]}`,
+		"empty name":        `{"traceEvents": [{"name": "", "ph": "M", "pid": 1}]}`,
+		"missing pid":       `{"traceEvents": [{"name": "m", "ph": "M"}]}`,
+	}
+	for label, content := range cases {
+		path := write(t, "bad.json", content)
+		if _, _, err := checkFile(path, 0); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestCheckFileMinSpans(t *testing.T) {
+	path := write(t, "empty.json", `{"traceEvents": []}`)
+	if _, _, err := checkFile(path, 0); err != nil {
+		t.Errorf("empty trace with no minimum: %v", err)
+	}
+	if _, _, err := checkFile(path, 1); err == nil {
+		t.Error("empty trace must fail -min-spans=1")
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"gem/internal/gemlang"
 	"gem/internal/lint"
+	"gem/internal/obs"
 	"gem/internal/spec"
 	"gem/internal/thread"
 )
@@ -94,6 +95,8 @@ func AnalyzeSource(src string) (*Result, error) {
 // given position map (which may be nil).
 func AnalyzeMarked(s *spec.Spec, marks *gemlang.SourceMap) *Result {
 	lr := lint.AnalyzeMarked(s, marks)
+	_, sp := obs.StartSpan(nil, "analyze.deep")
+	defer sp.End()
 	a := &deepAnalysis{s: s, marks: marks, res: &Result{Lint: lr, guards: make(map[string]Guard)}}
 	g := buildPairGraph(s, lr)
 	a.checkUnreachable(g, lr)

@@ -8,6 +8,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"gem/internal/csp"
 	"gem/internal/logic"
 	"gem/internal/monitor"
+	"gem/internal/obs"
 	"gem/internal/problems/boundedbuf"
 	"gem/internal/problems/oneslot"
 	"gem/internal/problems/rw"
@@ -38,6 +40,11 @@ type Options struct {
 	// seq) for every sat check. All engines report the same verdicts
 	// and counterexamples; the zero value is logic.EngineAuto.
 	Engine logic.Engine
+	// Ctx carries cancellation (and the span context) into exploration
+	// and checking: a cancelled context stops the simulator and the
+	// check workers promptly, and the scenario reports an interrupted
+	// cell instead of a verdict. nil means never cancelled.
+	Ctx context.Context
 }
 
 // streamBatch is how many computations the streaming producer groups
@@ -94,6 +101,23 @@ type Cell struct {
 func (s Scenario) Run(opts ...Options) Cell {
 	opt := firstOpt(opts)
 	start := time.Now()
+	name := ""
+	if obs.Enabled() {
+		name = "scenario " + s.Problem + "/" + string(s.Language)
+	}
+	ctx, sp := obs.StartSpan(opt.Ctx, name)
+	defer sp.End()
+	done := logic.Done(ctx)
+	// interrupted wraps the cell when the context was cancelled mid-run:
+	// whatever verdict the partial work reached is not a verdict on the
+	// scenario.
+	interrupted := func(cell Cell) Cell {
+		if logic.Cancelled(done) && cell.Err == nil {
+			cell.Verified = false
+			cell.Err = fmt.Errorf("check: %s/%s interrupted: %w", s.Problem, s.Language, opt.Ctx.Err())
+		}
+		return cell
+	}
 	problem, corr, err := s.Setup()
 	if err != nil {
 		return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
@@ -102,22 +126,22 @@ func (s Scenario) Run(opts ...Options) Cell {
 		var comps []*core.Computation
 		truncated, err := s.Stream(func(c *core.Computation) bool {
 			comps = append(comps, c)
-			return true
+			return !logic.Cancelled(done)
 		})
-		if err == nil && truncated {
+		if err == nil && truncated && !logic.Cancelled(done) {
 			err = fmt.Errorf("check: %s exploration truncated", s.Language)
 		}
 		if err != nil {
 			return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
 		}
-		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: opt.Engine})
+		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: opt.Engine, Ctx: ctx})
 		cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
 		if idx >= 0 {
 			cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
 			return cell
 		}
 		cell.Verified = true
-		return cell
+		return interrupted(cell)
 	}
 
 	// Parallel pipeline: the producer goroutine explores while the
@@ -135,7 +159,7 @@ func (s Scenario) Run(opts ...Options) Cell {
 		defer close(ch)
 		batch := make([]verify.Indexed, 0, streamBatch)
 		trunc, err := s.Stream(func(c *core.Computation) bool {
-			if stopFlag.Load() {
+			if stopFlag.Load() || logic.Cancelled(done) {
 				return false
 			}
 			batch = append(batch, verify.Indexed{Index: produced, Comp: c})
@@ -152,19 +176,19 @@ func (s Scenario) Run(opts ...Options) Cell {
 		prodTrunc, prodErr = trunc, err
 	}()
 	idx, res := verify.CheckStream(problem, ch, func() { stopFlag.Store(true) },
-		corr, logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine})
+		corr, logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: ctx})
 	cell := Cell{Scenario: s, Runs: produced, Elapsed: time.Since(start)}
 	switch {
 	case idx >= 0:
 		cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
 	case prodErr != nil:
 		cell.Err = prodErr
-	case prodTrunc:
+	case prodTrunc && !logic.Cancelled(done):
 		cell.Err = fmt.Errorf("check: %s exploration truncated", s.Language)
 	default:
 		cell.Verified = true
 	}
-	return cell
+	return interrupted(cell)
 }
 
 // Matrix returns the nine scenarios of the paper's Section 11 claim.
@@ -331,9 +355,16 @@ func rwScenario(lang Language) Scenario {
 // parallel streaming engine.
 func RunMatrix(w io.Writer, opts ...Options) error {
 	opt := firstOpt(opts)
+	done := logic.Done(opt.Ctx)
 	fmt.Fprintf(w, "%-18s %-9s %9s %9s  %s\n", "PROBLEM", "LANGUAGE", "RUNS", "TIME", "RESULT")
 	var firstErr error
 	for _, s := range Matrix() {
+		if logic.Cancelled(done) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("check: matrix interrupted: %w", opt.Ctx.Err())
+			}
+			break
+		}
 		cell := s.Run(opt)
 		result := "verified"
 		if !cell.Verified {
@@ -411,8 +442,15 @@ func Refutations() []Refutation {
 // refuting computation index as sequential ones.
 func RunRefutations(w io.Writer, opts ...Options) error {
 	opt := firstOpt(opts)
+	done := logic.Done(opt.Ctx)
 	var firstErr error
 	for _, r := range Refutations() {
+		if logic.Cancelled(done) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("check: refutations interrupted: %w", opt.Ctx.Err())
+			}
+			break
+		}
 		problem, comps, corr, err := r.Build()
 		if err != nil {
 			fmt.Fprintf(w, "%-55s ERROR: %v\n", r.Name, err)
@@ -422,7 +460,7 @@ func RunRefutations(w io.Writer, opts ...Options) error {
 			continue
 		}
 		idx, _ := verify.CheckAll(problem, comps, corr,
-			logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine})
+			logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: opt.Ctx})
 		if idx < 0 {
 			fmt.Fprintf(w, "%-55s NOT refuted (%d computations) — matrix broken\n", r.Name, len(comps))
 			if firstErr == nil {

@@ -131,7 +131,16 @@ func (u *Universe) Ports(group string) []Port {
 // declared element or group, port elements are members (directly or
 // transitively) of their group, and group containment is acyclic.
 func (u *Universe) Validate() error {
-	for name, g := range u.groups {
+	// Groups are visited in sorted name order so the first error — and
+	// the group a containment cycle is reported through — is the same on
+	// every run; downstream tools promise byte-identical diagnostics.
+	names := make([]string, 0, len(u.groups))
+	for name := range u.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := u.groups[name]
 		for _, m := range g.members {
 			if !u.elements[m] && u.groups[m] == nil {
 				return fmt.Errorf("core: group %s member %s is not a declared element or group", name, m)
@@ -169,7 +178,7 @@ func (u *Universe) Validate() error {
 		state[g] = 2
 		return nil
 	}
-	for name := range u.groups {
+	for _, name := range names {
 		if err := visit(name); err != nil {
 			return err
 		}

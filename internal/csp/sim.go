@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,10 @@ type Run struct {
 type ExploreOptions struct {
 	MaxRuns  int // cap on distinct runs (0 = 100000)
 	MaxSteps int // per-run step cap (0 = 10000)
+	// Ctx cancels the exploration: the DFS polls it at every node, and a
+	// cancelled context aborts the walk with ctx.Err() after at most one
+	// further run. nil means never cancelled.
+	Ctx context.Context
 }
 
 // Explore exhaustively enumerates the program's executions and returns
@@ -55,11 +60,21 @@ func ExploreStream(p *Program, opts ExploreOptions, yield func(Run) bool) (bool,
 	truncated := false
 	stopped := false
 	var exploreErr error
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 
 	var dfs func(m *machine)
 	dfs = func(m *machine) {
 		if truncated || stopped || exploreErr != nil {
 			return
+		}
+		select {
+		case <-done:
+			exploreErr = opts.Ctx.Err()
+			return
+		default:
 		}
 		if m.steps > opts.MaxSteps {
 			exploreErr = fmt.Errorf("csp: run exceeded %d steps", opts.MaxSteps)

@@ -5,6 +5,7 @@ import (
 
 	"gem/internal/core"
 	"gem/internal/logic"
+	"gem/internal/obs"
 	"gem/internal/spec"
 	"gem/internal/thread"
 )
@@ -26,6 +27,8 @@ import (
 //
 // Element bodies: [EVENTS eventDecl…] [RESTRICTIONS formula ; …].
 func Parse(src string) (*spec.Spec, error) {
+	_, sp := obs.StartSpan(nil, "parse")
+	defer sp.End()
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err

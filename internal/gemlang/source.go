@@ -1,6 +1,9 @@
 package gemlang
 
-import "gem/internal/spec"
+import (
+	"gem/internal/obs"
+	"gem/internal/spec"
+)
 
 // Pos is a 1-based line/column source position.
 type Pos struct {
@@ -42,6 +45,8 @@ func (m *SourceMap) mark(table map[string]Pos, name string, t Token) {
 // ParseWithPositions is Parse plus a SourceMap locating each declaration,
 // for position-annotated diagnostics (gemlint).
 func ParseWithPositions(src string) (*spec.Spec, *SourceMap, error) {
+	_, sp := obs.StartSpan(nil, "parse")
+	defer sp.End()
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, nil, err

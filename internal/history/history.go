@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"gem/internal/core"
+	"gem/internal/obs"
 	"gem/internal/order"
 )
 
@@ -150,9 +151,11 @@ func (h History) String() string {
 // History passed to fn owns its set; callers must not modify it but may
 // retain it.
 func Enumerate(c *core.Computation, limit int, fn func(h History) bool) int {
-	return order.IdealsPre(c.Reach(), c.Preds(), limit, func(ideal order.Bitset) bool {
+	n := order.IdealsPre(c.Reach(), c.Preds(), limit, func(ideal order.Bitset) bool {
 		return fn(History{c: c, set: ideal})
 	})
+	obs.Count("histories.enumerated", int64(n))
+	return n
 }
 
 // Count returns the total number of histories of c.

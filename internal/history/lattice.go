@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"gem/internal/core"
+	"gem/internal/obs"
 	"gem/internal/order"
 )
 
@@ -51,11 +52,16 @@ func Shared(c *core.Computation) *Lattice {
 func (l *Lattice) Histories() []History {
 	l.histOnce.Do(func() {
 		latticeBuilds.Add(1)
+		_, sp := obs.StartSpan(nil, "lattice.build")
 		order.IdealsPre(l.c.Reach(), l.c.Preds(), 0, func(ideal order.Bitset) bool {
 			// Ideals never mutates an emitted set, so it is safe to retain.
 			l.histories = append(l.histories, History{c: l.c, set: ideal})
 			return true
 		})
+		sp.End()
+		obs.Count("lattice.builds", 1)
+		obs.Count("lattice.histories", int64(len(l.histories)))
+		obs.SetMax("lattice.max_histories", int64(len(l.histories)))
 	})
 	return l.histories
 }

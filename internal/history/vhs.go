@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gem/internal/core"
+	"gem/internal/obs"
 	"gem/internal/order"
 )
 
@@ -129,6 +130,7 @@ func EnumerateComplete(c *core.Computation, limit int, fn func(s Sequence) bool)
 	}
 	empty := order.NewBitset(n)
 	rec(empty, []order.Bitset{empty}, 0)
+	obs.Count("sequences.enumerated", int64(count))
 	return count
 }
 
@@ -139,7 +141,7 @@ func EnumerateComplete(c *core.Computation, limit int, fn func(s Sequence) bool)
 // E10 ablation.
 func EnumerateLinear(c *core.Computation, limit int, fn func(s Sequence) bool) int {
 	n := c.NumEvents()
-	return order.LinearExtensions(c.Reach(), limit, func(ext []int) bool {
+	count := order.LinearExtensions(c.Reach(), limit, func(ext []int) bool {
 		seq := make(Sequence, 0, n+1)
 		set := order.NewBitset(n)
 		seq = append(seq, History{c: c, set: set.Clone()})
@@ -149,6 +151,8 @@ func EnumerateLinear(c *core.Computation, limit int, fn func(s Sequence) bool) i
 		}
 		return fn(seq)
 	})
+	obs.Count("sequences.enumerated", int64(count))
+	return count
 }
 
 // CountComplete returns the number of maximal valid history sequences.

@@ -16,6 +16,7 @@ import (
 
 	"gem/internal/core"
 	"gem/internal/logic"
+	"gem/internal/obs"
 	"gem/internal/spec"
 	"gem/internal/thread"
 )
@@ -149,9 +150,17 @@ func Check(s *spec.Spec, c *core.Computation, opts Options) Result {
 	var hold []bool
 	if opts.FastPath {
 		hold = fastPathHolds(s, c, rs)
+		if obs.Enabled() {
+			for _, h := range hold {
+				if h {
+					obs.Count("fastpath.hits", 1)
+				}
+			}
+		}
 	}
 	for i, cx := range restrictionCounterexamples(s, c, opts, pre, hold) {
 		if pre != nil && pre[i] != nil {
+			obs.Count("prelint.shortcircuit", 1)
 			if !add(*pre[i]) {
 				return res
 			}
@@ -190,15 +199,37 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options,
 	cxs := make([]*logic.Counterexample, len(rs))
 	skip := func(i int) bool { return pre != nil && pre[i] != nil }
 	holds := func(i int) bool { return hold != nil && hold[i] }
+	// eval runs one restriction under its own span, so the trace and the
+	// per-restriction stats table attribute each engine stage's time to
+	// the restriction shape that incurred it. The name is only built when
+	// the collector is on, keeping the disabled path allocation-free.
+	eval := func(i int, inner logic.CheckOptions) *logic.Counterexample {
+		name := ""
+		if obs.Enabled() {
+			name = "restriction " + rs[i].Owner + "/" + rs[i].Name
+		}
+		ctx, sp := obs.StartSpan(inner.Ctx, name)
+		inner.Ctx = ctx
+		cx := logic.Holds(rs[i].F, c, inner)
+		sp.End()
+		return cx
+	}
+	// Cancellation leaves the remaining entries nil — indistinguishable
+	// from "holds" in the returned slice, so callers that must tell the
+	// difference consult ctx.Err(), as with every partial result here.
+	done := logic.Done(opts.Check.Ctx)
 	w := logic.Workers(opts.Check.Parallelism, len(rs))
 	if w <= 1 {
 		// Sequential path: stop at the violation budget like the historical
 		// code did (later restrictions are simply never evaluated).
 		budget := opts.MaxViolations
 		found := 0
-		for i, r := range rs {
+		for i := range rs {
+			if logic.Cancelled(done) {
+				break
+			}
 			if !skip(i) && !holds(i) {
-				cxs[i] = logic.Holds(r.F, c, opts.Check)
+				cxs[i] = eval(i, opts.Check)
 			}
 			if cxs[i] != nil || skip(i) {
 				found++
@@ -218,6 +249,9 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options,
 		go func() {
 			defer wg.Done()
 			for {
+				if logic.Cancelled(done) {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= len(rs) {
 					return
@@ -225,7 +259,7 @@ func restrictionCounterexamples(s *spec.Spec, c *core.Computation, opts Options,
 				if skip(i) || holds(i) {
 					continue
 				}
-				cxs[i] = logic.Holds(rs[i].F, c, inner)
+				cxs[i] = eval(i, inner)
 			}
 		}()
 	}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"gem/internal/gemlang"
+	"gem/internal/obs"
 	"gem/internal/spec"
 )
 
@@ -252,6 +253,8 @@ func ForSpec(s *spec.Spec) *Result {
 }
 
 func analyze(s *spec.Spec, marks *gemlang.SourceMap) *Result {
+	_, sp := obs.StartSpan(nil, "lint.analyze")
+	defer sp.End()
 	a := &analysis{s: s, marks: marks, res: &Result{}, seen: make(map[string]bool)}
 	a.universe, _ = s.Universe()
 	a.checkStructure()

@@ -106,8 +106,16 @@ func WriteSARIF(w io.Writer, diags []FileDiagnostic) error {
 		}
 		if d.File != "" {
 			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
-			if !d.Pos.IsZero() {
-				phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+			// SARIF 2.1.0 line/column numbers are 1-based; a diagnostic
+			// with no source position (Pos.IsZero) must omit the region
+			// entirely rather than emit "startLine": 0, and a known line
+			// with an unknown column omits just the column.
+			if d.Pos.Line >= 1 {
+				region := &sarifRegion{StartLine: d.Pos.Line}
+				if d.Pos.Col >= 1 {
+					region.StartColumn = d.Pos.Col
+				}
+				phys.Region = region
 			}
 			r.Locations = []sarifLocation{{PhysicalLocation: phys}}
 		}

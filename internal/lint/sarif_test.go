@@ -64,6 +64,50 @@ func TestSARIFCorpus(t *testing.T) {
 	}
 }
 
+// TestSARIFZeroPosition is the regression test for the invalid
+// "startLine": 0 region: a diagnostic with an unknown position (such as
+// the group-containment-cycle finding, which no single line owns) must
+// carry a location without any region, and a known line with an unknown
+// column must omit startColumn — SARIF 2.1.0 regions are 1-based.
+func TestSARIFZeroPosition(t *testing.T) {
+	diags := []lint.FileDiagnostic{
+		{File: "cycle.gem", Diagnostic: lint.Diagnostic{Code: lint.CodeDanglingElement,
+			Severity: lint.SeverityError, Subject: "group structure",
+			Message: "group containment cycle through g1"}},
+		{File: "cycle.gem", Diagnostic: lint.Diagnostic{Code: lint.CodeDeadDecl,
+			Severity: lint.SeverityWarning, Subject: "element a", Message: "unused",
+			Pos: lint.Pos{Line: 7}}},
+	}
+	var sb strings.Builder
+	if err := lint.WriteSARIF(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Contains(got, `"startLine": 0`) {
+		t.Errorf("zero-position diagnostic produced an invalid startLine 0 region:\n%s", got)
+	}
+	if strings.Contains(got, `"startColumn": 0`) {
+		t.Errorf("unknown column produced an invalid startColumn 0:\n%s", got)
+	}
+	if !strings.Contains(got, `"uri": "cycle.gem"`) {
+		t.Errorf("zero-position diagnostic lost its artifact location:\n%s", got)
+	}
+	if !strings.Contains(got, `"startLine": 7`) {
+		t.Errorf("positioned diagnostic lost its region:\n%s", got)
+	}
+
+	// The corpus golden must stay free of zero regions too: the fixture
+	// set includes gem001_group_cycle.gem, whose GEM001 finding has no
+	// position.
+	golden, err := os.ReadFile(filepath.Join("testdata", "corpus.sarif.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(golden), `"startLine": 0`) {
+		t.Error("corpus.sarif.golden contains an invalid startLine 0 region")
+	}
+}
+
 // TestSARIFDeterministic renders the same diagnostics twice and requires
 // byte-identical output.
 func TestSARIFDeterministic(t *testing.T) {

@@ -1,10 +1,12 @@
 package logic
 
 import (
+	"context"
 	"fmt"
 
 	"gem/internal/core"
 	"gem/internal/history"
+	"gem/internal/obs"
 )
 
 // Counterexample describes where and why a restriction failed.
@@ -50,6 +52,14 @@ type CheckOptions struct {
 	// seq). Every engine reports the same verdicts and counterexamples;
 	// they differ only in cost. The zero value is EngineAuto.
 	Engine Engine
+	// Ctx carries cancellation and the observability span context
+	// through the engines: the parallel fan-outs (FirstFailure and the
+	// streaming checkers) poll it and stop promptly once it is
+	// cancelled, and spans opened under it nest in the emitted trace.
+	// nil means context.Background(): never cancelled. Individual
+	// formula evaluations are not interrupted mid-enumeration, so
+	// cancellation latency is bounded by one unit of work.
+	Ctx context.Context
 }
 
 // Holds checks a restriction against a computation following GEM
@@ -92,7 +102,7 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		// to the sequence engine, so the counterexample is the exact
 		// engine's (and identical across engines).
 		if useLattice && opts.Engine == EngineLattice {
-			if latticeHolds(f, c) {
+			if latticePasses(opts.Ctx, f, c) {
 				return nil
 			}
 			seq := opts
@@ -105,12 +115,15 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		// a history). Deciding it over histories avoids enumerating the
 		// exponentially larger sequence set, exactly.
 		if box, ok := f.(Box); ok && !HasTemporal(box.F) {
-			return holdsOnHistories(box.F, c, opts.MaxHistories)
+			_, sp := obs.StartSpan(opts.Ctx, "engine.histories")
+			cx := holdsOnHistories(box.F, c, opts.MaxHistories)
+			sp.End()
+			return cx
 		}
 		// EngineAuto: a passing lattice run decides the common case; a
 		// failing one falls through to the strategies below, which find
 		// the same counterexample the sequence engine would.
-		if useLattice && latticeHolds(f, c) {
+		if useLattice && latticePasses(opts.Ctx, f, c) {
 			return nil
 		}
 		// □φ where φ's only temporal subformulas are positive □ of
@@ -120,11 +133,20 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		// inner □ bodies must hold at every h2 ⊇ h1. Every such pair
 		// occurs in some complete valid history sequence and vice versa.
 		if box, ok := f.(Box); ok && !opts.LinearOnly && pairCheckable(box.F, true) {
-			return holdsOnHistoryPairs(box.F, c, opts.MaxHistories)
+			_, sp := obs.StartSpan(opts.Ctx, "engine.pairs")
+			cx := holdsOnHistoryPairs(box.F, c, opts.MaxHistories)
+			sp.End()
+			return cx
 		}
-		return holdsOnSequences(f, c, opts)
+		_, sp := obs.StartSpan(opts.Ctx, "engine.seq")
+		cx := holdsOnSequences(f, c, opts)
+		sp.End()
+		return cx
 	case HasHistoryPredicate(f):
-		return holdsOnHistories(f, c, opts.MaxHistories)
+		_, sp := obs.StartSpan(opts.Ctx, "engine.histories")
+		cx := holdsOnHistories(f, c, opts.MaxHistories)
+		sp.End()
+		return cx
 	default:
 		env := NewEnv(history.Full(c))
 		if !f.Eval(env) {
@@ -132,6 +154,21 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		}
 		return nil
 	}
+}
+
+// latticePasses runs the lattice fixpoint engine under an engine-stage
+// span and records the pass/fallback counters. A false result always
+// delegates to another engine stage, whose span will show the re-check.
+func latticePasses(ctx context.Context, f Formula, c *core.Computation) bool {
+	_, sp := obs.StartSpan(ctx, "engine.lattice")
+	ok := latticeHolds(f, c)
+	sp.End()
+	if ok {
+		obs.Count("engine.lattice.pass", 1)
+	} else {
+		obs.Count("engine.lattice.fallback", 1)
+	}
+	return ok
 }
 
 // HoldsAtFull evaluates the formula at the complete history only,

@@ -1,6 +1,7 @@
 package logic
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,33 @@ func Workers(par, n int) int {
 // dispatch. Claiming runs of indices instead of single items keeps the
 // shared counter off the hot path: per-item atomic increments put a
 // contended cache line between every pair of cheap checks, which is what
-// made -j4 slower than -j1 on the E4/E7 workloads.
+// made -j4 slower than -j1 on the E4/E7 workloads. It also bounds the
+// cancellation latency: workers poll the context once per claimed chunk,
+// so a cancelled run stops within at most FailureChunk further checks
+// per worker.
 const FailureChunk = 16
+
+// Done returns ctx's done channel, tolerating a nil context (the
+// engines treat nil as context.Background(): never cancelled). Polling
+// a nil channel in a select with a default case is free, so callers can
+// hold the channel instead of re-checking ctx.
+func Done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Cancelled reports whether the done channel (from Done) is closed,
+// without blocking.
+func Cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // FirstFailure evaluates check(i) for i in [0, n) and returns the lowest
 // index whose check reports failure (ok == false) together with that
@@ -44,11 +70,21 @@ const FailureChunk = 16
 // best failing index found so far are skipped, units below it are always
 // evaluated, so the reported index and result are identical to the
 // sequential run's.
-func FirstFailure[T any](n, par int, check func(i int) (T, bool)) (int, T) {
+//
+// A nil ctx is never cancelled. When ctx is cancelled the run stops
+// promptly — within FailureChunk further checks per worker — and
+// returns the best failure found so far, or (-1, zero) if none was;
+// callers that must distinguish "all passed" from "gave up" consult
+// ctx.Err(), exactly like a truncated enumeration.
+func FirstFailure[T any](ctx context.Context, n, par int, check func(i int) (T, bool)) (int, T) {
 	var zero T
+	done := Done(ctx)
 	w := Workers(par, n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if i%FailureChunk == 0 && Cancelled(done) {
+				return -1, zero
+			}
 			if res, ok := check(i); !ok {
 				return i, res
 			}
@@ -77,6 +113,9 @@ func FirstFailure[T any](n, par int, check func(i int) (T, bool)) (int, T) {
 		go func() {
 			defer wg.Done()
 			for {
+				if Cancelled(done) {
+					return
+				}
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -110,6 +149,9 @@ func FirstFailure[T any](n, par int, check func(i int) (T, bool)) (int, T) {
 		}()
 	}
 	wg.Wait()
+	// After cancellation the reported failure is the best one actually
+	// found (possibly not the global first), so partial results still
+	// carry their evidence.
 	if m := int(minFail.Load()); m < n {
 		return m, results[m]
 	}
@@ -120,11 +162,12 @@ func FirstFailure[T any](n, par int, check func(i int) (T, bool)) (int, T) {
 // counterexample, annotated with its index, or (-1, nil) if all hold.
 // With opts.Parallelism > 1 the restrictions are checked concurrently
 // with deterministic first-failure semantics: the reported index and
-// counterexample are the ones the sequential run finds.
+// counterexample are the ones the sequential run finds. Cancellation of
+// opts.Ctx stops the fan-out promptly (see FirstFailure).
 func HoldsAll(fs []Formula, c *core.Computation, opts CheckOptions) (int, *Counterexample) {
 	inner := opts
 	inner.Parallelism = 1
-	return FirstFailure(len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
+	return FirstFailure(opts.Ctx, len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
 		cx := Holds(fs[i], c, inner)
 		return cx, cx == nil
 	})
@@ -134,14 +177,15 @@ func HoldsAll(fs []Formula, c *core.Computation, opts CheckOptions) (int, *Count
 // the (computation, formula) pairs out to a worker pool. It returns the
 // indices of the first failure in (computation-major, formula-minor)
 // order plus its counterexample, or (-1, -1, nil) when every pair holds —
-// exactly what nested sequential loops would report.
+// exactly what nested sequential loops would report. Cancellation of
+// opts.Ctx stops the fan-out promptly (see FirstFailure).
 func HoldsEvery(fs []Formula, comps []*core.Computation, opts CheckOptions) (int, int, *Counterexample) {
 	if len(fs) == 0 || len(comps) == 0 {
 		return -1, -1, nil
 	}
 	inner := opts
 	inner.Parallelism = 1
-	u, cx := FirstFailure(len(comps)*len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
+	u, cx := FirstFailure(opts.Ctx, len(comps)*len(fs), opts.Parallelism, func(i int) (*Counterexample, bool) {
 		cx := Holds(fs[i%len(fs)], comps[i/len(fs)], inner)
 		return cx, cx == nil
 	})

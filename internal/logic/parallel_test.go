@@ -46,7 +46,7 @@ func TestFirstFailureDeterminism(t *testing.T) {
 	run := func(par int) (int, string, map[int]bool) {
 		var mu sync.Mutex
 		evaluated := make(map[int]bool)
-		idx, res := FirstFailure(n, par, func(i int) (string, bool) {
+		idx, res := FirstFailure(nil, n, par, func(i int) (string, bool) {
 			mu.Lock()
 			evaluated[i] = true
 			mu.Unlock()
@@ -77,7 +77,7 @@ func TestFirstFailureDeterminism(t *testing.T) {
 func TestFirstFailureAllPass(t *testing.T) {
 	withProcs(t, 4)
 	for _, par := range []int{1, 4} {
-		idx, res := FirstFailure(100, par, func(i int) (int, bool) { return i, true })
+		idx, res := FirstFailure(nil, 100, par, func(i int) (int, bool) { return i, true })
 		if idx != -1 || res != 0 {
 			t.Errorf("par %d: all-pass FirstFailure = (%d, %d), want (-1, 0)", par, idx, res)
 		}

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,6 +28,10 @@ type ExploreOptions struct {
 	// every enabled transition. Exponentially slower; used to validate
 	// that the reduction preserves the set of computations.
 	NoReduction bool
+	// Ctx cancels the exploration: the DFS polls it at every node, and a
+	// cancelled context aborts the walk with ctx.Err() after at most one
+	// further run. nil means never cancelled.
+	Ctx context.Context
 }
 
 // Explore exhaustively enumerates the interleavings of the program under
@@ -65,11 +70,21 @@ func ExploreStream(p *Program, opts ExploreOptions, yield func(Run) bool) (bool,
 	truncated := false
 	stopped := false
 	var exploreErr error
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 
 	var dfs func(m *machine)
 	dfs = func(m *machine) {
 		if truncated || stopped || exploreErr != nil {
 			return
+		}
+		select {
+		case <-done:
+			exploreErr = opts.Ctx.Err()
+			return
+		default:
 		}
 		if m.steps > opts.MaxSteps {
 			exploreErr = fmt.Errorf("monitor: run exceeded %d steps (non-terminating program?)", opts.MaxSteps)

@@ -1,0 +1,18 @@
+package obs
+
+import "io"
+
+// Flush writes whatever the CLI's -trace/-stats flags requested: a
+// non-empty tracePath writes the Chrome trace file, stats writes the
+// table to w (the CLIs pass stderr, keeping stdout for results). It is
+// the single deferred exit hook of every command, so an interrupted run
+// still flushes the partial trace it collected.
+func Flush(tracePath string, stats bool, w io.Writer) error {
+	if err := WriteTraceFile(tracePath); err != nil {
+		return err
+	}
+	if stats {
+		return WriteStats(w)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// spanAgg accumulates one stats row.
+type spanAgg struct {
+	key   string
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// WriteStats renders the current snapshot as a plain-text table: span
+// totals aggregated by name, the per-restriction × engine-stage
+// breakdown the tuning workflow reads first, and every counter and
+// gauge. Rows are sorted by name (within the restriction table, by
+// descending total then name), so two runs of a deterministic pipeline
+// differ only in the measured times.
+func WriteStats(w io.Writer) error {
+	return writeStats(w, Snapshot())
+}
+
+func writeStats(w io.Writer, p *Profile) error {
+	byName := map[string]*spanAgg{}
+	byStage := map[string]*spanAgg{}
+	for _, s := range p.Spans {
+		add(byName, s.Name, s.Dur)
+		// The per-restriction engine table pairs each engine-stage span
+		// with its enclosing restriction (or property) span.
+		if strings.HasPrefix(s.Name, "engine.") && s.Parent != "" {
+			add(byStage, s.Parent+"\x00"+s.Name, s.Dur)
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "== spans ==\n%-44s %8s %12s %12s %12s\n",
+		"SPAN", "COUNT", "TOTAL", "MEAN", "MAX"); err != nil {
+		return err
+	}
+	for _, a := range sortedAggs(byName, false) {
+		mean := time.Duration(int64(a.total) / a.count)
+		if _, err := fmt.Fprintf(w, "%-44s %8d %12s %12s %12s\n",
+			a.key, a.count, round(a.total), round(mean), round(a.max)); err != nil {
+			return err
+		}
+	}
+
+	if len(byStage) > 0 {
+		if _, err := fmt.Fprintf(w, "\n== per-restriction engine time ==\n%-44s %-18s %8s %12s\n",
+			"RESTRICTION", "ENGINE", "COUNT", "TOTAL"); err != nil {
+			return err
+		}
+		for _, a := range sortedAggs(byStage, true) {
+			owner, stage, _ := strings.Cut(a.key, "\x00")
+			if _, err := fmt.Fprintf(w, "%-44s %-18s %8d %12s\n",
+				owner, stage, a.count, round(a.total)); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(p.Counters) > 0 || len(p.Gauges) > 0 {
+		if _, err := fmt.Fprintf(w, "\n== counters ==\n"); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(p.Counters) {
+			if _, err := fmt.Fprintf(w, "%-44s %12d\n", name, p.Counters[name]); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(p.Gauges) {
+			if _, err := fmt.Fprintf(w, "%-44s %12d (max)\n", name, p.Gauges[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func add(m map[string]*spanAgg, key string, d time.Duration) {
+	a := m[key]
+	if a == nil {
+		a = &spanAgg{key: key}
+		m[key] = a
+	}
+	a.count++
+	a.total += d
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// sortedAggs orders rows by name, or — for the hot-spot table — by
+// descending total (ties by name) so the most expensive restriction
+// shapes lead.
+func sortedAggs(m map[string]*spanAgg, byTotal bool) []*spanAgg {
+	out := make([]*spanAgg, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if byTotal && out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+// round trims durations to three significant time units worth of
+// precision so table columns stay narrow.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}

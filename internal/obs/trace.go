@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace-event format (the JSON
+// object flavor with a top-level traceEvents array), the subset both
+// chrome://tracing and Perfetto load: complete ("X") duration events
+// for spans, counter ("C") events for counters and gauges, and one
+// process-name metadata ("M") record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since the collector epoch
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteTrace renders the current snapshot as a Chrome trace-event JSON
+// document. Spans are sorted by start time (ties by track then name),
+// so the output is stable for a deterministic pipeline.
+func WriteTrace(w io.Writer) error {
+	return writeTrace(w, Snapshot())
+}
+
+// WriteTraceFile writes the trace to path, creating or truncating it.
+// An empty path is a no-op, so CLIs can call it unconditionally.
+func WriteTraceFile(path string) (err error) {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("obs: %w", cerr)
+		}
+	}()
+	return WriteTrace(f)
+}
+
+func writeTrace(w io.Writer, p *Profile) error {
+	spans := append([]SpanRec(nil), p.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Tid != spans[j].Tid {
+			return spans[i].Tid < spans[j].Tid
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	events := make([]traceEvent, 0, len(spans)+len(p.Counters)+len(p.Gauges)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "gem"},
+	})
+	var lastEnd float64
+	for _, s := range spans {
+		dur := float64(s.Dur.Nanoseconds()) / 1e3
+		ev := traceEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start.Nanoseconds()) / 1e3,
+			Dur: &dur, Pid: tracePid, Tid: s.Tid,
+		}
+		if s.Parent != "" {
+			ev.Args = map[string]any{"parent": s.Parent}
+		}
+		if end := ev.Ts + dur; end > lastEnd {
+			lastEnd = end
+		}
+		events = append(events, ev)
+	}
+	// Counters and gauges become single counter samples stamped at the
+	// end of the run, in sorted name order.
+	for _, name := range sortedKeys(p.Counters) {
+		events = append(events, traceEvent{
+			Name: name, Ph: "C", Ts: lastEnd, Pid: tracePid,
+			Args: map[string]any{"value": p.Counters[name]},
+		})
+	}
+	for _, name := range sortedKeys(p.Gauges) {
+		events = append(events, traceEvent{
+			Name: name, Ph: "C", Ts: lastEnd, Pid: tracePid,
+			Args: map[string]any{"value": p.Gauges[name]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -35,7 +35,10 @@ func StartCPU(path string) (stop func(), err error) {
 
 // WriteHeap records an allocation profile to path after forcing a
 // collection, so the snapshot reflects live retention rather than
-// garbage awaiting the next GC cycle. An empty path is a no-op.
+// garbage awaiting the next GC cycle. An empty path is a no-op. A
+// failed Close is reported too: the profile data may still be buffered
+// in the kernel or the file table when the write itself succeeds, and a
+// silently truncated profile is worse than no profile.
 func WriteHeap(path string) error {
 	if path == "" {
 		return nil
@@ -44,10 +47,23 @@ func WriteHeap(path string) error {
 	if err != nil {
 		return fmt.Errorf("profiling: %w", err)
 	}
-	defer f.Close()
+	return writeHeapTo(f)
+}
+
+// writeHeapTo snapshots the heap into f and closes it. The close error
+// is load-bearing: the runtime's profile writer swallows write errors
+// internally (its gzip stream discards them), so a full disk or a bad
+// descriptor is often only reported by close — the old `defer f.Close()`
+// turned a truncated profile into a silent success.
+func writeHeapTo(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("profiling: %w", cerr)
+		}
+	}()
 	runtime.GC()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		return fmt.Errorf("profiling: %w", err)
+	if perr := pprof.WriteHeapProfile(f); perr != nil {
+		return fmt.Errorf("profiling: %w", perr)
 	}
 	return nil
 }

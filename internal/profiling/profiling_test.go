@@ -3,6 +3,7 @@ package profiling
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -48,5 +49,54 @@ func TestUnwritablePathErrors(t *testing.T) {
 	}
 	if err := WriteHeap(bad); err == nil {
 		t.Error("WriteHeap should fail on an unwritable path")
+	}
+
+	if os.Getuid() != 0 {
+		// A read-only directory only rejects non-root writers; root
+		// (and CI containers running as root) bypasses the mode bits.
+		rodir := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(rodir, 0o500); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteHeap(filepath.Join(rodir, "p.pprof")); err == nil {
+			t.Error("WriteHeap should fail in a read-only directory")
+		}
+	}
+}
+
+// TestWriteHeapReportsCloseFailure is the regression test for the
+// swallowed-close-error bug: WriteHeap used to `defer f.Close()`,
+// discarding the close error. That error is the only failure channel
+// for a whole class of faults, because the runtime's heap-profile
+// writer discards write errors internally — pprof.WriteHeapProfile to
+// /dev/full (every write fails with ENOSPC) returns nil. A profile
+// "written" to an already-closed file must therefore report the close
+// failure instead of success.
+func TestWriteHeapReportsCloseFailure(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "heap.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHeapTo(f); err == nil {
+		t.Error("writeHeapTo on a closed file reported success for a profile that was never stored")
+	}
+}
+
+// TestWriteHeapSwallowedWriteError documents why the close error above
+// matters: the runtime reports no error even when every write fails.
+// If this ever starts failing, the runtime began propagating write
+// errors and the close-error path has a second line of defense.
+func TestWriteHeapSwallowedWriteError(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/dev/full is linux-only")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skipf("no /dev/full: %v", err)
+	}
+	if err := WriteHeap("/dev/full"); err != nil {
+		t.Logf("runtime now propagates heap-profile write errors: %v", err)
 	}
 }

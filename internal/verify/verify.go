@@ -24,6 +24,7 @@ import (
 	"gem/internal/core"
 	"gem/internal/legal"
 	"gem/internal/logic"
+	"gem/internal/obs"
 	"gem/internal/spec"
 	"gem/internal/thread"
 )
@@ -250,6 +251,7 @@ func (r Result) Error() error {
 // onto the significant objects, label the problem's threads, and check
 // every restriction of the problem specification on the projection.
 func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts logic.CheckOptions) Result {
+	obs.Count("sat.checks", 1)
 	proj, err := Project(c, corr)
 	if err != nil {
 		return Result{ProjectionErr: err}
@@ -268,11 +270,14 @@ func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts lo
 // first failure, or (-1, ok-result) if all satisfy the problem. With
 // opts.Parallelism > 1 the computations are fanned out to a worker pool
 // with deterministic first-failure semantics: the reported index and
-// result are the ones the sequential run finds.
+// result are the ones the sequential run finds. Cancelling opts.Ctx
+// stops the fan-out promptly with the best failure found so far (see
+// logic.FirstFailure); callers distinguish "all sat" from "interrupted"
+// via ctx.Err().
 func CheckAll(problem *spec.Spec, comps []*core.Computation, corr Correspondence, opts logic.CheckOptions) (int, Result) {
 	inner := opts
 	inner.Parallelism = 1
-	idx, res := logic.FirstFailure(len(comps), opts.Parallelism, func(i int) (Result, bool) {
+	idx, res := logic.FirstFailure(opts.Ctx, len(comps), opts.Parallelism, func(i int) (Result, bool) {
 		r := Check(problem, comps[i], corr, inner)
 		return r, r.Sat()
 	})
@@ -302,10 +307,16 @@ type Indexed struct {
 // producer cut exploration short; computations with a lower index are
 // still checked, so the verdict and first-failure index equal the
 // sequential run's over the same stream prefix.
+//
+// Cancelling opts.Ctx also fires stop once and makes the workers drain
+// the remaining batches without checking them (the producer may have
+// batches in flight; abandoning the channel would wedge it). The best
+// failure found before cancellation is still returned.
 func CheckStream(problem *spec.Spec, ch <-chan []Indexed, stop func(), corr Correspondence, opts logic.CheckOptions) (int, Result) {
 	inner := opts
 	inner.Parallelism = 1
 	w := logic.Workers(opts.Parallelism, 1<<30)
+	done := logic.Done(opts.Ctx)
 	var (
 		mu      sync.Mutex
 		bestIdx = -1
@@ -313,16 +324,21 @@ func CheckStream(problem *spec.Spec, ch <-chan []Indexed, stop func(), corr Corr
 		stopped bool
 		wg      sync.WaitGroup
 	)
-	fail := func(i int, r Result) {
+	halt := func() {
 		mu.Lock()
 		defer mu.Unlock()
-		if bestIdx < 0 || i < bestIdx {
-			bestIdx, bestRes = i, r
-		}
 		if !stopped && stop != nil {
 			stopped = true
 			stop()
 		}
+	}
+	fail := func(i int, r Result) {
+		mu.Lock()
+		if bestIdx < 0 || i < bestIdx {
+			bestIdx, bestRes = i, r
+		}
+		mu.Unlock()
+		halt()
 	}
 	skip := func(i int) bool {
 		mu.Lock()
@@ -334,6 +350,10 @@ func CheckStream(problem *spec.Spec, ch <-chan []Indexed, stop func(), corr Corr
 		go func() {
 			defer wg.Done()
 			for batch := range ch {
+				if logic.Cancelled(done) {
+					halt()
+					continue // keep draining so the producer can finish
+				}
 				for _, item := range batch {
 					if skip(item.Index) {
 						continue

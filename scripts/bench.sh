@@ -27,9 +27,22 @@ echo "==> go test -run '^$' -bench $pattern -benchmem ./..."
 go test -run '^$' -bench "$pattern" -benchmem ./... | tee "$txt"
 
 if [ -n "$prev" ]; then
-	go run ./cmd/benchjson -prev "$prev" <"$txt" >"$json.tmp"
+	# The always-on instrumentation (internal/obs) must stay free when
+	# disabled: the E4 j1 ns/op and allocs/op ratios against the previous
+	# record are bounded at 1.10 (generous run-to-run noise, tight enough
+	# to catch a hot-path allocation). benchjson writes the record before
+	# evaluating the assertion, so a regression still leaves the JSON —
+	# only the exit status reports it.
+	status=0
+	go run ./cmd/benchjson -prev "$prev" \
+		-assert "BenchmarkE4MonitorRW/j1<=1.10" \
+		<"$txt" >"$json.tmp" || status=$?
 	mv "$json.tmp" "$json"
 	echo "==> wrote $txt and $json (delta vs $prev)"
+	if [ "$status" -ne 0 ]; then
+		echo "==> FAIL: benchmark regression vs $prev (see delta section in $json)" >&2
+		exit "$status"
+	fi
 else
 	go run ./cmd/benchjson <"$txt" >"$json.tmp"
 	mv "$json.tmp" "$json"

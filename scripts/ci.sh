@@ -26,6 +26,13 @@ echo "==> go build ./..."
 go build ./...
 echo "==> gemlint -deep examples/specs"
 go run ./cmd/gemlint -deep examples/specs/*.gem
+echo "==> observability smoke: -stats/-trace produce valid trace-event JSON"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/gemlint -deep -stats -trace "$tracedir/lint.json" examples/specs/*.gem >/dev/null 2>"$tracedir/lint.stats"
+go run ./cmd/gemcheck -j 2 -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
+go run ./cmd/tracecheck -min-spans 1 "$tracedir/lint.json" "$tracedir/check.json"
+grep -q '== spans ==' "$tracedir/check.stats"
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> bench smoke (-short, one iteration per benchmark)"
