@@ -499,6 +499,112 @@ func BenchmarkSweepMonitorExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkE12FailingSpecs times the counterexample path — the check a
+// user runs while debugging a broken spec — per evaluation engine, at
+// readers=3 scale. The workload projects the readers-priority monitor
+// solution onto the RW problem (as in the sweep) and checks three
+// deliberately failing temporal properties on each projection until one
+// is refuted:
+//
+//   - reads-finish-first: the leads-to □(write requested ∧ ¬write done →
+//     ◇(some read freshly done ∧ ¬write done)) — a plausible-looking
+//     "some read completes before the write completes" property. It is
+//     violated only on the interleavings that delay every reader's
+//     FinishRead past the writer's entire transaction, which sit ~1.5k
+//     sequences deep in enumeration order (of millions), and the ◇
+//     keeps it out of the histories/pairs reductions — so the old
+//     failure-side cascade enumerated and evaluated every sequence up
+//     to the witness. The lattice engine refutes it from the exact
+//     lower bound and walks the Steps DAG for the witness directly.
+//   - exists-box: ∃sw:StartWrite □occurred(sw), an ∃ with a temporal
+//     body — a shape the whole-formula gate used to reject outright.
+//   - temporal-or: □(∃ Getval) ∨ □(∃ Assign), two temporal disjuncts —
+//     likewise previously rejected; refuted by the engine's upper bound.
+//
+// The seq sub-benchmark is the old failure-side cascade; lattice is the
+// new native path (extract witness from the history lattice). E12 in
+// EXPERIMENTS.md records the ratio; scripts/bench.sh bounds the lattice
+// entry once a baseline record exists.
+func BenchmarkE12FailingSpecs(b *testing.B) {
+	if testing.Short() {
+		b.Skip("readers=3 exploration takes ~13s; skipped in -short mode")
+	}
+	const projections = 16
+	corr := rw.MonitorCorrespondence()
+	clients := []string{"r1", "r2", "r3", "w1"}
+	problem, err := rw.ProblemSpec(clients, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, _, err := monitor.Explore(rw.NewProgram(rw.ReadersPriority, rw.Workload{Readers: 3, Writers: 1}), monitor.ExploreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comps []*core.Computation
+	for _, r := range runs {
+		if len(comps) == projections {
+			break
+		}
+		proj, err := verify.Project(r.Comp, corr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thread.Apply(proj.Comp, problem.Threads()...)
+		comps = append(comps, proj.Comp)
+	}
+	writeDone := logic.Exists{Var: "fw", Ref: core.Ref("", "FinishWrite"), Body: logic.Occurred{Var: "fw"}}
+	readsFinishFirst := logic.Box{F: logic.Implies{
+		If: logic.And{
+			logic.Exists{Var: "rq", Ref: core.Ref("db.control", "ReqWrite"), Body: logic.Occurred{Var: "rq"}},
+			logic.Not{F: writeDone},
+		},
+		Then: logic.Diamond{F: logic.And{
+			logic.Exists{Var: "fr", Ref: core.Ref("", "FinishRead"), Body: logic.New{Var: "fr"}},
+			logic.Not{F: writeDone},
+		}},
+	}}
+	existsBox := logic.Exists{Var: "sw", Ref: core.Ref("db.control", "StartWrite"),
+		Body: logic.Box{F: logic.Occurred{Var: "sw"}}}
+	temporalOr := logic.Or{
+		logic.Box{F: logic.Exists{Var: "g", Ref: core.Ref("db.data", "Getval"), Body: logic.Occurred{Var: "g"}}},
+		logic.Box{F: logic.Exists{Var: "a", Ref: core.Ref("db.data", "Assign"), Body: logic.Occurred{Var: "a"}}},
+	}
+	for _, spec := range []struct {
+		name string
+		f    logic.Formula
+	}{
+		{"reads-finish-first", readsFinishFirst},
+		{"exists-box", existsBox},
+		{"temporal-or", temporalOr},
+	} {
+		spec := spec
+		for _, eng := range []struct {
+			name   string
+			engine logic.Engine
+		}{
+			{"engine=seq", logic.EngineSeq},
+			{"engine=lattice", logic.EngineLattice},
+		} {
+			eng := eng
+			b.Run(spec.name+"/"+eng.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					refuted := false
+					for _, c := range comps {
+						if cx := logic.Holds(spec.f, c, logic.CheckOptions{Engine: eng.engine}); cx != nil {
+							refuted = true
+							break
+						}
+					}
+					if !refuted {
+						b.Fatalf("%s not refuted on any projection", spec.name)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationClosureVsDFS compares the two temporal-order
 // representations on a realistic computation (a full RW monitor run):
 // precomputed bitset reachability (what core.Computation does) versus

@@ -8,8 +8,11 @@
 //
 // The -j flag (default NumCPU) sets the checking parallelism for the rw
 // matrix; -j1 reproduces the sequential engine exactly. The -engine flag
-// selects the temporal evaluation engine (auto, lattice or seq; all
-// report identical verdicts), and -cpuprofile/-memprofile write pprof
+// selects the temporal evaluation engine (auto and lattice use the
+// lattice fixpoint engine with lattice-native counterexamples, falling
+// back to sequence enumeration only on inconclusive bounds; seq is the
+// enumeration oracle — all report identical verdicts),
+// and -cpuprofile/-memprofile write pprof
 // profiles for performance work. -trace writes a Chrome trace-event
 // JSON file (load in chrome://tracing or Perfetto) and -stats prints
 // span/counter statistics to stderr.

@@ -11,11 +11,16 @@
 // same first-failure computation index.
 //
 // The -engine flag selects the temporal evaluation engine: auto (the
-// default) decides sequence-insensitive restrictions with the lattice
-// fixpoint evaluator and falls back to sequence enumeration otherwise,
-// lattice forces the fixpoint evaluator for its fragment, and seq is the
-// historical sequence engine. All engines report the same verdicts and
-// counterexamples. -cpuprofile and -memprofile write pprof profiles for
+// default) evaluates every temporal restriction with the lattice
+// fixpoint engine — which now covers the full restriction language and
+// extracts its own counterexamples from the history lattice — and falls
+// back to sequence enumeration only when the engine's bounds are
+// inconclusive; lattice forces the fixpoint engine (same fallback rule,
+// with fallbacks observable on the engine.lattice.fallback -stats
+// counter); seq is the historical sequence engine, kept as the
+// agreement-test oracle. All engines report the same verdicts; witness
+// shapes may differ, but every counterexample is a genuine failing
+// history. -cpuprofile and -memprofile write pprof profiles for
 // performance work; -trace writes a Chrome trace-event JSON file (load
 // in chrome://tracing or Perfetto) and -stats prints span/counter
 // statistics to stderr.

@@ -1,6 +1,9 @@
 package check
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"gem/internal/logic"
@@ -10,7 +13,11 @@ import (
 // Spec-level counter-verification of the lattice fixpoint engine: every
 // shipped problem specification, checked over its exhaustively explored
 // solutions and over the failing mutants, must report identical verdicts
-// and identical counterexamples under the sequence and lattice engines.
+// under the sequence and lattice engines, and every engine's
+// counterexample must independently falsify its restriction. Witness
+// identity is NOT required: the lattice engine extracts its own failing
+// sequence from the history lattice, while seq reports the first one in
+// enumeration order.
 
 // TestMatrixEngineAgreement runs all nine matrix cells under the seq,
 // lattice and auto engines and requires the same verdict and run count
@@ -40,8 +47,9 @@ func TestMatrixEngineAgreement(t *testing.T) {
 }
 
 // TestRefutationEngineAgreement: the failing mutants are refuted at the
-// same computation index with the same rendered counterexample under
-// every engine.
+// same computation index, blaming the same restrictions, under every
+// engine — and each engine's counterexample is genuine: its witness
+// falsifies the restriction formula (Counterexample.Verify).
 func TestRefutationEngineAgreement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mutant explorations are slow; skipped in -short mode")
@@ -57,16 +65,33 @@ func TestRefutationEngineAgreement(t *testing.T) {
 			if seqIdx < 0 {
 				t.Fatal("mutant not refuted under seq engine")
 			}
-			for _, engine := range []logic.Engine{logic.EngineLattice, logic.EngineAuto} {
+			for _, engine := range []logic.Engine{logic.EngineSeq, logic.EngineLattice, logic.EngineAuto} {
 				idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: engine})
 				if idx != seqIdx {
 					t.Fatalf("engine %s refutes at index %d, seq at %d", engine, idx, seqIdx)
 				}
-				if res.Error().Error() != seqRes.Error().Error() {
-					t.Errorf("counterexamples differ under %s:\nseq:     %v\nengine:  %v",
-						engine, seqRes.Error(), res.Error())
+				if got, want := blamed(res), blamed(seqRes); got != want {
+					t.Errorf("engine %s blames %q, seq blames %q", engine, got, want)
+				}
+				for _, v := range res.Legality.Violations {
+					if err := v.Cx.Verify(); err != nil {
+						t.Errorf("engine %s reported a bogus counterexample for %s: %v",
+							engine, v.Restriction, err)
+					}
 				}
 			}
 		})
 	}
+}
+
+// blamed renders the restriction-level blame of a refutation — which
+// restrictions of which owners failed — without the witness text, which
+// legitimately differs across engines.
+func blamed(res verify.Result) string {
+	var parts []string
+	for _, v := range res.Legality.Violations {
+		parts = append(parts, fmt.Sprintf("%s:%s/%s", v.Kind, v.Owner, v.Restriction))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
 }

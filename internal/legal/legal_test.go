@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gem/internal/core"
+	"gem/internal/logic"
 	"gem/internal/spec"
 	"gem/internal/thread"
 )
@@ -157,6 +158,36 @@ func TestRestrictionViolationReported(t *testing.T) {
 	}
 	if !strings.Contains(v.String(), "reads-last-assign") {
 		t.Errorf("violation string = %s", v.String())
+	}
+}
+
+// TestRestrictionViolationWitnessVerifies: whichever engine finds a
+// restriction violation, the attached counterexample must independently
+// falsify the restriction formula — lattice-extracted witnesses are held
+// to the same standard as enumerated ones.
+func TestRestrictionViolationWitnessVerifies(t *testing.T) {
+	s := bufferSpec(t)
+	b := core.NewBuilder()
+	a := b.Event("slot", "Assign", core.Params{"newval": core.Int(7)})
+	g := b.Event("slot", "Getval", core.Params{"oldval": core.Int(9)})
+	b.Enable(a, g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []logic.Engine{logic.EngineAuto, logic.EngineSeq, logic.EngineLattice} {
+		res := Check(s, c, Options{Check: logic.CheckOptions{Engine: engine}})
+		if res.Legal() {
+			t.Fatalf("engine %s misses the stale read", engine)
+		}
+		for _, v := range res.Violations {
+			if v.Kind != RestrictionViolation {
+				continue
+			}
+			if err := v.Cx.Verify(); err != nil {
+				t.Errorf("engine %s reported a bogus witness for %s: %v", engine, v.Restriction, err)
+			}
+		}
 	}
 }
 

@@ -29,6 +29,30 @@ func (cx *Counterexample) Error() string {
 	return s
 }
 
+// Verify re-checks the counterexample independently of the engine that
+// produced it: the formula must evaluate to false on the reported
+// witness (the sequence when present, the single history otherwise).
+// Witnesses differ across engines — the sequence and lattice engines
+// report complete valid history sequences, the invariant reduction a
+// single history, the pair reduction a two-history fragment — but all of
+// them must falsify the formula; the engine-agreement suites assert this
+// in place of witness identity.
+func (cx *Counterexample) Verify() error {
+	if cx == nil {
+		return nil
+	}
+	if cx.Seq == nil {
+		if cx.Formula.Eval(NewEnv(cx.History)) {
+			return fmt.Errorf("logic: counterexample history satisfies %s", cx.Formula)
+		}
+		return nil
+	}
+	if cx.Formula.Eval(NewSeqEnv(cx.Seq, 0)) {
+		return fmt.Errorf("logic: counterexample sequence satisfies %s", cx.Formula)
+	}
+	return nil
+}
+
 // CheckOptions bound the cost of checking.
 type CheckOptions struct {
 	// MaxSequences caps the number of complete valid history sequences
@@ -49,8 +73,11 @@ type CheckOptions struct {
 	// first (lowest-index) counterexample.
 	Parallelism int
 	// Engine selects the temporal evaluation strategy (auto, lattice or
-	// seq). Every engine reports the same verdicts and counterexamples;
-	// they differ only in cost. The zero value is EngineAuto.
+	// seq). Every engine reports the same verdicts; counterexamples are
+	// always genuine falsifying witnesses (Counterexample.Verify) but may
+	// differ in shape across engines — the lattice engine extracts its
+	// own violating sequence instead of re-running the sequence cascade.
+	// The zero value is EngineAuto.
 	Engine Engine
 	// Ctx carries cancellation and the observability span context
 	// through the engines: the parallel fan-outs (FirstFailure and the
@@ -87,23 +114,22 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 	}
 	switch {
 	case HasTemporal(f):
-		// The lattice fixpoint engine (latticeeval.go) decides
-		// sequence-insensitive formulas over the history lattice instead
-		// of the exponentially larger sequence set. It is bypassed under
-		// enumeration budgets and the LinearOnly ablation, which change
-		// the checked semantics, and when a formula passes it reports nil
-		// directly; on failure the sequence strategies below re-run the
-		// check so the counterexample is the exact engine's.
+		// The lattice fixpoint engine (latticeeval.go) bounds every
+		// temporal formula over the history lattice instead of the
+		// exponentially larger sequence set, decides most of them (pass
+		// and fail alike, extracting its own violating sequence on
+		// failure), and reports "inconclusive" for the rest. It is
+		// bypassed under enumeration budgets and the LinearOnly ablation,
+		// which change the checked semantics.
 		useLattice := opts.Engine != EngineSeq && !opts.LinearOnly &&
-			opts.MaxSequences == 0 && opts.MaxHistories == 0 &&
-			SequenceInsensitive(f)
-		// A forced EngineLattice routes every fragment formula through
-		// the fixpoint evaluator; on failure it delegates the whole check
-		// to the sequence engine, so the counterexample is the exact
-		// engine's (and identical across engines).
+			opts.MaxSequences == 0 && opts.MaxHistories == 0
+		// A forced EngineLattice routes every temporal formula through
+		// the fixpoint evaluator first; only an inconclusive outcome
+		// (observable as the engine.lattice.fallback counter) delegates
+		// to the sequence strategies.
 		if useLattice && opts.Engine == EngineLattice {
-			if latticePasses(opts.Ctx, f, c) {
-				return nil
+			if cx, decided := latticeAttempt(opts.Ctx, f, c); decided {
+				return cx
 			}
 			seq := opts
 			seq.Engine = EngineSeq
@@ -113,18 +139,21 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 		// history sequence iff p holds at every history (every history
 		// occurs in some complete sequence, and every sequence member is
 		// a history). Deciding it over histories avoids enumerating the
-		// exponentially larger sequence set, exactly.
+		// exponentially larger sequence set, exactly — and avoids the
+		// lattice engine's step-DAG bitsets, so auto keeps it first.
 		if box, ok := f.(Box); ok && !HasTemporal(box.F) {
 			_, sp := obs.StartSpan(opts.Ctx, "engine.histories")
 			cx := holdsOnHistories(box.F, c, opts.MaxHistories)
 			sp.End()
 			return cx
 		}
-		// EngineAuto: a passing lattice run decides the common case; a
-		// failing one falls through to the strategies below, which find
-		// the same counterexample the sequence engine would.
-		if useLattice && latticePasses(opts.Ctx, f, c) {
-			return nil
+		// EngineAuto: a decided lattice run (either verdict) settles the
+		// check; only inconclusive bounds fall through to the strategies
+		// below.
+		if useLattice {
+			if cx, decided := latticeAttempt(opts.Ctx, f, c); decided {
+				return cx
+			}
 		}
 		// □φ where φ's only temporal subformulas are positive □ of
 		// immediate bodies (e.g. the paper's priority restriction
@@ -156,19 +185,25 @@ func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
 	}
 }
 
-// latticePasses runs the lattice fixpoint engine under an engine-stage
-// span and records the pass/fallback counters. A false result always
-// delegates to another engine stage, whose span will show the re-check.
-func latticePasses(ctx context.Context, f Formula, c *core.Computation) bool {
-	_, sp := obs.StartSpan(ctx, "engine.lattice")
-	ok := latticeHolds(f, c)
+// latticeAttempt runs the lattice fixpoint engine under an engine-stage
+// span and records its outcome counters: engine.lattice.pass for a
+// decided pass, engine.lattice.cex for a decided failure (the witness
+// extraction also times itself under the nested engine.lattice.cex
+// span), and engine.lattice.fallback for an inconclusive outcome — the
+// only case that still delegates to another engine stage.
+func latticeAttempt(ctx context.Context, f Formula, c *core.Computation) (*Counterexample, bool) {
+	cctx, sp := obs.StartSpan(ctx, "engine.lattice")
+	cx, decided := latticeDecide(cctx, f, c)
 	sp.End()
-	if ok {
-		obs.Count("engine.lattice.pass", 1)
-	} else {
+	switch {
+	case !decided:
 		obs.Count("engine.lattice.fallback", 1)
+	case cx == nil:
+		obs.Count("engine.lattice.pass", 1)
+	default:
+		obs.Count("engine.lattice.cex", 1)
 	}
-	return ok
+	return cx, decided
 }
 
 // HoldsAtFull evaluates the formula at the complete history only,

@@ -28,7 +28,9 @@ import (
 // SpanRec is one completed span.
 type SpanRec struct {
 	// Name identifies the stage ("gemlang.parse", "engine.lattice",
-	// "restriction buf/cap", …). Stats aggregate by name.
+	// "engine.lattice.cex" for counterexample extraction from the
+	// history lattice, "restriction buf/cap", …). Stats aggregate by
+	// name.
 	Name string
 	// Parent is the enclosing span's name, "" for roots. The stats table
 	// uses it for the per-restriction-per-engine breakdown.

@@ -133,6 +133,17 @@ func (b Bitset) Fill() {
 	}
 }
 
+// FlipAll replaces the set with its complement over [0, Cap()), reusing
+// the storage. Bits beyond the capacity stay clear, like Fill.
+func (b Bitset) FlipAll() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	if tail := b.n % wordBits; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(tail)) - 1
+	}
+}
+
 // Equal reports whether the two sets have the same members.
 func (b Bitset) Equal(other Bitset) bool {
 	if b.n != other.n {

@@ -250,6 +250,10 @@ func (r Result) Error() error {
 // Check runs the paper's sat check for one program computation: project
 // onto the significant objects, label the problem's threads, and check
 // every restriction of the problem specification on the projection.
+// Failing restrictions carry engine-produced counterexamples: under the
+// default engine a failure is refuted inside the lattice fixpoint
+// engine, with the witness sequence extracted from the history lattice
+// rather than recomputed by sequence enumeration.
 func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts logic.CheckOptions) Result {
 	obs.Count("sat.checks", 1)
 	proj, err := Project(c, corr)

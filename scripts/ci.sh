@@ -33,6 +33,17 @@ go run ./cmd/gemlint -deep -stats -trace "$tracedir/lint.json" examples/specs/*.
 go run ./cmd/gemcheck -j 2 -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
 go run ./cmd/tracecheck -min-spans 1 "$tracedir/lint.json" "$tracedir/check.json"
 grep -q '== spans ==' "$tracedir/check.stats"
+echo "==> lattice engine gate: full matrix under forced -engine lattice, no silent seq fallback"
+go run ./cmd/gemverify -engine lattice -j 2 -stats >/dev/null 2>"$tracedir/verify.stats"
+# The lattice engine must actually carry the temporal restrictions...
+grep -q 'engine\.lattice ' "$tracedir/verify.stats"
+# ...and never hit an inconclusive bound: a fallback counter in the
+# stats means some check silently delegated to sequence enumeration.
+if grep -q 'engine\.lattice\.fallback' "$tracedir/verify.stats"; then
+	echo "==> FAIL: lattice engine silently fell back to seq on a shipped spec" >&2
+	grep 'engine\.lattice\.fallback' "$tracedir/verify.stats" >&2
+	exit 1
+fi
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> bench smoke (-short, one iteration per benchmark)"
