@@ -7,8 +7,11 @@
 // Usage:
 //
 //	gemlint [-deep] [-format=text|json|sarif] FILE.gem...
+//	gemlint -codes
 //
-// Text output is one finding per line:
+// -codes prints the shared GEM001–GEM016 code registry (one line per
+// code: code, default severity, summary) and exits. Text output is one
+// finding per line:
 //
 //	file.gem:12:3: GEM004 error: restriction "r" of spec: ...
 //
@@ -28,7 +31,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -53,14 +55,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (alias for -format=json)")
 	format := fs.String("format", "", "output format: text, json, or sarif (default text)")
 	deep := fs.Bool("deep", false, "run the deep semantic analyses (GEM009-GEM012)")
+	codes := fs.Bool("codes", false, "print the shared GEM code registry (code, severity, summary) and exit")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: gemlint [-deep] [-format=text|json|sarif] FILE.gem...")
+		fmt.Fprintln(stderr, "usage: gemlint [-deep] [-format=text|json|sarif] FILE.gem... | gemlint -codes")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *codes {
+		lint.PrintRegistry(stdout)
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fs.Usage()
@@ -135,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	sortFileDiags(all)
+	lint.SortFileDiagnostics(all)
 
 	switch *format {
 	case "text":
@@ -178,29 +185,4 @@ func analyzeFile(file string, deep bool) fileResult {
 		return fileResult{errMsg: fmt.Sprintf("%s: %v", file, err)}
 	}
 	return fileResult{diags: res.Diags}
-}
-
-// sortFileDiags orders diagnostics file-major, then by the canonical
-// per-file order (position with unknown last, code, subject) — the
-// deterministic presentation the docs promise.
-func sortFileDiags(ds []lint.FileDiagnostic) {
-	sort.SliceStable(ds, func(i, j int) bool {
-		if ds[i].File != ds[j].File {
-			return ds[i].File < ds[j].File
-		}
-		pi, pj := ds[i].Pos, ds[j].Pos
-		if pi.IsZero() != pj.IsZero() {
-			return !pi.IsZero()
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Col != pj.Col {
-			return pi.Col < pj.Col
-		}
-		if ds[i].Code != ds[j].Code {
-			return ds[i].Code < ds[j].Code
-		}
-		return ds[i].Subject < ds[j].Subject
-	})
 }

@@ -2,10 +2,8 @@ package analyze
 
 import (
 	"sort"
-	"strings"
 
 	"gem/internal/lint"
-	"gem/internal/order"
 	"gem/internal/thread"
 )
 
@@ -26,16 +24,16 @@ import (
 // mutual-exclusion and priority examples gone wrong. Pure constraint
 // cycles are GEM004's business and are not re-reported here; pure thread
 // "cycles" (a path revisiting a class) are legitimate iteration.
-type waitEdge struct {
-	from, to int
-	// ci is the constraint index for constraint edges, -1 for thread
-	// edges; tt names the thread type for thread edges.
-	ci int
-	tt string
-}
+//
+// The graph itself is the shared WaitGraph (waitfor.go), which the Go
+// front end (internal/gofront) reuses for its GEM014–GEM016 analyses.
+const (
+	waitKindConstraint = iota
+	waitKindThread
+)
 
 func (a *deepAnalysis) checkDeadlock(g *pairGraph, lr *lint.Result) {
-	var edges []waitEdge
+	wg := NewWaitGraph(len(g.pairs))
 	for _, c := range g.cons {
 		if c.doomed || !c.mandatory {
 			continue
@@ -45,7 +43,12 @@ func (a *deepAnalysis) checkDeadlock(g *pairGraph, lr *lint.Result) {
 			if t == src || !g.edgeOK(src, t) {
 				continue
 			}
-			edges = append(edges, waitEdge{from: t, to: src, ci: c.ci, tt: ""})
+			ec := lr.Constraints[c.ci]
+			wg.AddEdge(WaitEdge{
+				From: t, To: src, Kind: waitKindConstraint, Rank: c.ci,
+				Label: g.pairs[t].String() + " waits for prior " + g.pairs[src].String() +
+					" (" + restrictionSubject(ec.Owner, ec.Restriction) + ")",
+			})
 		}
 	}
 	for _, name := range sortedTypeNames(a.s.Threads()) {
@@ -58,88 +61,27 @@ func (a *deepAnalysis) checkDeadlock(g *pairGraph, lr *lint.Result) {
 				if len(from) != 1 || len(to) != 1 || from[0] == to[0] {
 					continue
 				}
-				edges = append(edges, waitEdge{from: from[0], to: to[0], ci: -1, tt: name})
+				wg.AddEdge(WaitEdge{
+					From: from[0], To: to[0], Kind: waitKindThread, Rank: -1,
+					Label: g.pairs[from[0]].String() + " follows " + g.pairs[to[0]].String() +
+						" on thread " + name,
+				})
 			}
 		}
 	}
 
-	d := order.NewDAG(len(g.pairs))
-	for _, e := range edges {
-		d.AddEdge(e.from, e.to)
-	}
-	for _, comp := range d.SCC() {
-		if len(comp) < 2 {
-			continue
-		}
-		in := make(map[int]bool, len(comp))
-		for _, v := range comp {
-			in[v] = true
-		}
-		var inComp []waitEdge
-		hasThread, hasCon := false, false
-		for _, e := range edges {
-			if in[e.from] && in[e.to] {
-				inComp = append(inComp, e)
-				if e.ci >= 0 {
-					hasCon = true
-				} else {
-					hasThread = true
-				}
-			}
-		}
-		if !hasThread || !hasCon {
+	for _, cycle := range wg.Cycles() {
+		if !cycle.HasKind(waitKindThread) || !cycle.HasKind(waitKindConstraint) {
 			continue
 		}
 		// Anchor the diagnostic at the first (lowest-index) restriction
 		// participating in the cycle.
-		firstCI := -1
-		for _, e := range inComp {
-			if e.ci >= 0 && (firstCI < 0 || e.ci < firstCI) {
-				firstCI = e.ci
-			}
-		}
+		firstCI := cycle.MinRankOfKind(waitKindConstraint)
 		ec := lr.Constraints[firstCI]
 		a.warnAt(a.restrictionPos(ec.Restriction), lint.CodeDeadlock,
 			restrictionSubject(ec.Owner, ec.Restriction),
-			"possible static deadlock: %s", cycleDescription(g, lr, comp, inComp))
+			"possible static deadlock: %s", cycle.Describe())
 	}
-}
-
-// cycleDescription walks one concrete cycle inside the component and
-// renders each wait, e.g.
-//
-//	a.Go waits for prior b.Go (restriction "r1" of x); b.Go follows
-//	b.Req on thread piB; b.Req waits for prior a.Go (restriction "r2" of x)
-func cycleDescription(g *pairGraph, lr *lint.Result, comp []int, edges []waitEdge) string {
-	next := make(map[int]waitEdge, len(comp))
-	// Deterministic successor choice: lowest target, thread edges tie-broken
-	// by type name, constraint edges by index.
-	for _, e := range edges {
-		cur, ok := next[e.from]
-		if !ok || e.to < cur.to || (e.to == cur.to && e.ci < cur.ci) {
-			next[e.from] = e
-		}
-	}
-	start := comp[0]
-	var parts []string
-	seen := map[int]bool{}
-	for v := start; !seen[v]; {
-		seen[v] = true
-		e, ok := next[v]
-		if !ok {
-			break
-		}
-		if e.ci >= 0 {
-			ec := lr.Constraints[e.ci]
-			parts = append(parts, g.pairs[e.from].String()+" waits for prior "+
-				g.pairs[e.to].String()+" ("+restrictionSubject(ec.Owner, ec.Restriction)+")")
-		} else {
-			parts = append(parts, g.pairs[e.from].String()+" follows "+
-				g.pairs[e.to].String()+" on thread "+e.tt)
-		}
-		v = e.to
-	}
-	return strings.Join(parts, "; ")
 }
 
 func sortedTypeNames(types []thread.Type) []string {

@@ -1,0 +1,42 @@
+package gofront
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DumpSpec renders the extracted model — elements, classes,
+// restrictions, the computation with its enable edges, and any pairing
+// edges dropped to keep the temporal order acyclic — in a deterministic
+// textual form. It is the -dump-spec output and the golden-test surface:
+// the dump pins down exactly what the front end extracted, independent
+// of which diagnostics fire.
+func DumpSpec(w io.Writer, m *Model) {
+	fmt.Fprintf(w, "model %s\n", m.Name)
+	for _, gor := range m.Gors {
+		d, ok := m.Spec.Element(gor.Name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  element %s", gor.Name)
+		if len(d.Events) > 0 {
+			var cs []string
+			for _, ec := range d.Events {
+				cs = append(cs, ec.Name)
+			}
+			fmt.Fprintf(w, ": %s", strings.Join(cs, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, r := range m.Spec.Restrictions() {
+		fmt.Fprintf(w, "  restriction %s: %s\n", r.Name, r.F)
+	}
+	for _, line := range strings.Split(strings.TrimRight(m.Comp.String(), "\n"), "\n") {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	for _, e := range m.Dropped {
+		fmt.Fprintf(w, "  dropped enable: %s |> %s\n",
+			m.Comp.Event(e[0]).Name(), m.Comp.Event(e[1]).Name())
+	}
+}

@@ -1,0 +1,46 @@
+package gofront_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gem/internal/gofront"
+)
+
+// FuzzExtract feeds arbitrary source through the whole front end —
+// parse, type-check, extract, compile, diagnose. The invariant is
+// "never panic": malformed or half-typed input must degrade to fewer
+// events (and a parse error), never to a crash. Seeded with every
+// fixture so the mutator starts from realistic concurrent Go.
+func FuzzExtract(f *testing.F) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, dir := range dirs {
+		src, err := os.ReadFile(filepath.Join(dir, "main.go"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("package p\nfunc f(ch chan int) { go func() { <-ch }(); close(ch) }\n")
+	f.Add("package p\nimport \"sync\"\nvar mu sync.Mutex\nfunc f() { mu.Lock(); defer mu.Unlock() }\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := gofront.AnalyzeSource("fuzz.go", src)
+		if err != nil {
+			return // parse error: fine
+		}
+		// Whatever was extracted must be internally consistent.
+		for _, m := range res.Models {
+			if m.Comp == nil || m.Spec == nil {
+				t.Fatalf("model %s missing comp/spec", m.Name)
+			}
+			if m.Comp.NumEvents() != len(m.Ops) {
+				t.Fatalf("model %s: %d events for %d ops", m.Name, m.Comp.NumEvents(), len(m.Ops))
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package gofront_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gem/internal/gofront"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current gofront output")
+
+// fixtureDirs returns the fixture package directories under testdata/src.
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("expected at least 10 fixture packages in testdata/src, found %d", len(dirs))
+	}
+	return dirs
+}
+
+func renderDiags(res *gofront.Result) string {
+	var sb strings.Builder
+	for _, d := range res.Diags {
+		fmt.Fprintf(&sb, "%s:%s\n", d.File, d.Diagnostic)
+	}
+	return sb.String()
+}
+
+func renderDump(res *gofront.Result) string {
+	var sb strings.Builder
+	for _, m := range res.Models {
+		gofront.DumpSpec(&sb, m)
+	}
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGolden analyzes every fixture package and compares both the
+// diagnostics and the -dump-spec rendering against golden files.
+// Defective fixtures (gemNNN_*) must surface exactly the code they are
+// named for; clean_* lookalikes must produce no diagnostics at all.
+// Regenerate with: go test ./internal/gofront -run Golden -update
+func TestGolden(t *testing.T) {
+	for _, dir := range fixtureDirs(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			res, err := gofront.AnalyzeDir(dir)
+			if err != nil {
+				t.Fatalf("analyze %s: %v", dir, err)
+			}
+			if len(res.Pkg.TypeErrs) > 0 {
+				t.Fatalf("fixture %s has type errors: %v", dir, res.Pkg.TypeErrs)
+			}
+			got := renderDiags(res)
+
+			if strings.HasPrefix(name, "clean_") {
+				if got != "" {
+					t.Errorf("clean fixture %s produced diagnostics:\n%s", dir, got)
+				}
+			} else {
+				wantCode := strings.ToUpper(name[:strings.Index(name, "_")])
+				codes := make(map[string]bool)
+				for _, d := range res.Diags {
+					codes[string(d.Code)] = true
+				}
+				if !codes[wantCode] || len(codes) != 1 {
+					t.Errorf("fixture %s must surface exactly %s; diagnostics:\n%s", dir, wantCode, got)
+				}
+			}
+
+			checkGolden(t, filepath.Join("testdata", name+".golden"), got)
+			checkGolden(t, filepath.Join("testdata", name+".dump.golden"), renderDump(res))
+		})
+	}
+}
+
+// TestExpandPatterns checks the /... walk finds no packages inside
+// testdata (the go-tool convention) while a plain path is taken
+// verbatim.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := gofront.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("walk entered testdata: %s", d)
+		}
+	}
+	plain, err := gofront.ExpandPatterns([]string{filepath.Join("testdata", "src", "gem013_unpaired_recv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 {
+		t.Fatalf("plain pattern expanded to %v", plain)
+	}
+}

@@ -1,0 +1,217 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"gem/internal/obs"
+)
+
+// Package is one loaded Go package: the parsed files plus the go/types
+// resolution the extractor consults. Type errors are collected, not
+// fatal — extraction degrades gracefully on partial type information (a
+// call whose receiver type is unknown simply produces no event).
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// TypeErrs are the type-checker's complaints, in reporting order.
+	// They are surfaced to the user as load warnings but do not stop the
+	// analysis.
+	TypeErrs []error
+
+	info *types.Info
+}
+
+// cachingImporter wraps the source importer with a lock and a cache so
+// concurrent package loads (the -j fan-out) share one type-checked copy
+// of each dependency. The source importer compiles dependencies from
+// GOROOT source, so no pre-built export data is required.
+type cachingImporter struct {
+	mu    sync.Mutex
+	under types.Importer
+	pkgs  map[string]*types.Package
+	errs  map[string]error
+}
+
+var sharedImporter = &cachingImporter{
+	under: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	pkgs:  make(map[string]*types.Package),
+	errs:  make(map[string]error),
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if p, ok := ci.pkgs[path]; ok {
+		return p, nil
+	}
+	if err, ok := ci.errs[path]; ok {
+		return nil, err
+	}
+	p, err := ci.under.Import(path)
+	if err != nil {
+		ci.errs[path] = err
+		return nil, err
+	}
+	ci.pkgs[path] = p
+	return p, nil
+}
+
+// ExpandPatterns resolves gemgo's package patterns to package
+// directories: a plain path names one directory, a path ending in /...
+// walks the tree rooted there collecting every directory that contains
+// .go files. Like the go tool, the walk skips testdata, vendor, and
+// dot/underscore directories — but an explicit plain path is taken
+// verbatim, which is how the fixture corpus under testdata/ is analyzed.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, walk := strings.CutSuffix(pat, "/...")
+		if root == "" {
+			root = "."
+		}
+		fi, err := os.Stat(root)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("gofront: %s is not a directory", root)
+		}
+		if !walk {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && goSource(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// LoadDir parses and type-checks the non-test .go files of one
+// directory. Parse errors are fatal (the extractor needs syntax); type
+// errors are collected on the returned package.
+func LoadDir(dir string) (*Package, error) {
+	_, sp := obs.StartSpan(nil, "gofront.load")
+	defer sp.End()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && goSource(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gofront: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typeCheck(dir, fset, files), nil
+}
+
+// LoadSource loads a single in-memory file as its own package — the
+// entry point the fuzzer and tests use.
+func LoadSource(filename, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheck(filepath.Dir(filename), fset, []*ast.File{f}), nil
+}
+
+func typeCheck(dir string, fset *token.FileSet, files []*ast.File) *Package {
+	pkg := &Package{
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	if len(files) > 0 {
+		pkg.Name = files[0].Name.Name
+	}
+	conf := types.Config{
+		Importer: sharedImporter,
+		Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+	}
+	// Check fills the Info maps as far as it gets even when it returns an
+	// error; the Error handler above keeps it going past the first one.
+	_, _ = conf.Check(pkg.Name, fset, files, pkg.info)
+	return pkg
+}

@@ -1,0 +1,11 @@
+// Lookalike for gem013_unpaired_recv with the defect repaired: the main
+// goroutine sends the value the spawned goroutine receives.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}

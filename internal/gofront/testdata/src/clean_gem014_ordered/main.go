@@ -1,0 +1,21 @@
+// Lookalike for gem014_lock_inversion with the defect repaired: both
+// goroutines acquire the mutexes in the same order.
+package main
+
+import "sync"
+
+func main() {
+	var mu1, mu2 sync.Mutex
+	go func() {
+		mu1.Lock()
+		mu2.Lock()
+		mu2.Unlock()
+		mu1.Unlock()
+	}()
+	go func() {
+		mu1.Lock()
+		mu2.Lock()
+		mu2.Unlock()
+		mu1.Unlock()
+	}()
+}

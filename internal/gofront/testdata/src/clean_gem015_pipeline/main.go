@@ -1,0 +1,15 @@
+// Lookalike for gem015_crossed_channels with the defect repaired: the
+// channels form a pipeline (main sends a, the worker forwards to b, main
+// receives b) instead of a crossed rendezvous.
+package main
+
+func main() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		<-a
+		b <- 1
+	}()
+	a <- 1
+	<-b
+}

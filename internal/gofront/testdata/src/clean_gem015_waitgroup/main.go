@@ -1,0 +1,17 @@
+// Lookalike for gem015_waitgroup_leak with the defect repaired: the Add
+// total matches the number of Done calls.
+package main
+
+import "sync"
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		wg.Done()
+	}()
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}

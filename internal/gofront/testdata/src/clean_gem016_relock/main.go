@@ -1,0 +1,14 @@
+// Lookalike for gem016_double_lock with the defect repaired: the second
+// Lock happens after the first critical section is released, which is an
+// ordinary re-acquisition.
+package main
+
+import "sync"
+
+func main() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}

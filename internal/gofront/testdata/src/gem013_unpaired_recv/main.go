@@ -1,0 +1,10 @@
+// A goroutine receives from a channel nothing ever sends on or closes:
+// the receive can never complete (GEM013).
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+}

@@ -1,0 +1,21 @@
+// Two goroutines acquire the same two mutexes in opposite orders: a
+// classic lock-ordering inversion (GEM014).
+package main
+
+import "sync"
+
+func main() {
+	var mu1, mu2 sync.Mutex
+	go func() {
+		mu1.Lock()
+		mu2.Lock()
+		mu2.Unlock()
+		mu1.Unlock()
+	}()
+	go func() {
+		mu2.Lock()
+		mu1.Lock()
+		mu1.Unlock()
+		mu2.Unlock()
+	}()
+}

@@ -1,0 +1,17 @@
+// Two goroutines each receive before sending on crossed unbuffered
+// channels: neither send can start until the other completes, so both
+// goroutines block forever (GEM015).
+package main
+
+func main() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		<-a
+		b <- 1
+	}()
+	go func() {
+		<-b
+		a <- 1
+	}()
+}

@@ -1,0 +1,14 @@
+// The WaitGroup counter is incremented by two but only one Done exists:
+// Wait can never return (GEM015).
+package main
+
+import "sync"
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,14 @@
+// The goroutine locks a mutex it already holds: sync.Mutex is not
+// reentrant, and the unlock that would release it can only run after the
+// second Lock returns (GEM016).
+package main
+
+import "sync"
+
+func main() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}

@@ -13,21 +13,29 @@ type FileDiagnostic struct {
 	Diagnostic
 }
 
-// ruleDescriptions gives each stable code a one-line SARIF rule
-// description. Append-only, like the codes themselves.
-var ruleDescriptions = map[Code]string{
-	CodeDanglingElement: "reference to an undeclared element",
-	CodeDanglingClass:   "reference to an undeclared event class",
-	CodeDanglingParam:   "read of an undeclared event parameter",
-	CodePrereqCycle:     "unsatisfiable prerequisite structure (cycle or no well-founded start)",
-	CodeAccessForbidden: "required enable edge forbidden by the group access relation",
-	CodeDeadDecl:        "declaration never referenced",
-	CodeVacuous:         "vacuously true formula",
-	CodeUnboundVar:      "unbound event or thread variable",
-	CodeContradiction:   "statically unsatisfiable restriction set (no legal computation exists)",
-	CodeDeadlock:        "cyclic wait among prerequisites across thread chains",
-	CodeUnreachable:     "event class no legal enable chain can produce",
-	CodeRedundant:       "restriction subsumed by another restriction",
+// SortFileDiagnostics orders diagnostics file-major, then by the
+// canonical per-file order (position with unknown last, code, subject) —
+// the deterministic presentation every front end promises.
+func SortFileDiagnostics(ds []FileDiagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		pi, pj := ds[i].Pos, ds[j].Pos
+		if pi.IsZero() != pj.IsZero() {
+			return !pi.IsZero()
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Col != pj.Col {
+			return pi.Col < pj.Col
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		return ds[i].Subject < ds[j].Subject
+	})
 }
 
 // The SARIF 2.1.0 subset gemlint emits. Field order follows the struct
@@ -87,10 +95,18 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
-// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log with one run.
-// Only the rules that actually fired are listed, sorted by id; results
-// keep the input order (callers sort with SortDiagnostics first).
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log with one run,
+// attributed to gemlint. Only the rules that actually fired are listed,
+// sorted by id; results keep the input order (callers sort with
+// SortDiagnostics first).
 func WriteSARIF(w io.Writer, diags []FileDiagnostic) error {
+	return WriteSARIFAs(w, "gemlint", diags)
+}
+
+// WriteSARIFAs is WriteSARIF with an explicit tool name in the driver
+// block — gemgo emits the same log format under its own name. Rule
+// descriptions come from the shared code registry.
+func WriteSARIFAs(w io.Writer, tool string, diags []FileDiagnostic) error {
 	fired := map[Code]bool{}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
@@ -123,9 +139,10 @@ func WriteSARIF(w io.Writer, diags []FileDiagnostic) error {
 	}
 	rules := make([]sarifRule, 0, len(fired))
 	for code := range fired {
+		info, _ := Info(code)
 		rules = append(rules, sarifRule{
 			ID:               string(code),
-			ShortDescription: sarifMessage{Text: ruleDescriptions[code]},
+			ShortDescription: sarifMessage{Text: info.Summary},
 		})
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
@@ -135,7 +152,7 @@ func WriteSARIF(w io.Writer, diags []FileDiagnostic) error {
 		Version: "2.1.0",
 		Runs: []sarifRun{{
 			Tool: sarifTool{Driver: sarifDriver{
-				Name:           "gemlint",
+				Name:           tool,
 				InformationURI: "https://example.invalid/gem",
 				Rules:          rules,
 			}},

@@ -52,7 +52,8 @@ if [ -n "$prev" ]; then
 		exit "$status"
 	fi
 else
+	echo "==> no baseline BENCH_*.json found, skipping regression asserts"
 	go run ./cmd/benchjson <"$txt" >"$json.tmp"
 	mv "$json.tmp" "$json"
-	echo "==> wrote $txt and $json"
+	echo "==> wrote $txt and $json (this run becomes the baseline)"
 fi

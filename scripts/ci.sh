@@ -33,6 +33,37 @@ go run ./cmd/gemlint -deep -stats -trace "$tracedir/lint.json" examples/specs/*.
 go run ./cmd/gemcheck -j 2 -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
 go run ./cmd/tracecheck -min-spans 1 "$tracedir/lint.json" "$tracedir/check.json"
 grep -q '== spans ==' "$tracedir/check.stats"
+echo "==> gemgo fixture corpus: defects report exactly their code, cleans report nothing"
+go build -o "$tracedir/gemgo" ./cmd/gemgo
+for dir in internal/gofront/testdata/src/*/; do
+	name="$(basename "$dir")"
+	out="$tracedir/gemgo.$name.out"
+	status=0
+	"$tracedir/gemgo" "$dir" >"$out" 2>&1 || status=$?
+	case "$name" in
+	clean_*)
+		if [ "$status" -ne 0 ] || [ -s "$out" ]; then
+			echo "==> FAIL: clean fixture $name reported findings (exit $status):" >&2
+			cat "$out" >&2
+			exit 1
+		fi
+		;;
+	*)
+		want="$(echo "$name" | cut -d_ -f1 | tr '[:lower:]' '[:upper:]')"
+		got="$(grep -o 'GEM[0-9]*' "$out" | sort -u)"
+		if [ "$status" -eq 0 ] || [ "$got" != "$want" ]; then
+			echo "==> FAIL: fixture $name: want exactly $want (exit nonzero), got codes [$got] exit $status:" >&2
+			cat "$out" >&2
+			exit 1
+		fi
+		;;
+	esac
+done
+echo "==> gemgo SARIF smoke: corpus output is one valid gemgo-driver run"
+"$tracedir/gemgo" -format=sarif internal/gofront/testdata/src/... >"$tracedir/gemgo.sarif" || true
+grep -q '"version": "2.1.0"' "$tracedir/gemgo.sarif"
+grep -q '"name": "gemgo"' "$tracedir/gemgo.sarif"
+grep -q '"ruleId": "GEM013"' "$tracedir/gemgo.sarif"
 echo "==> lattice engine gate: full matrix under forced -engine lattice, no silent seq fallback"
 go run ./cmd/gemverify -engine lattice -j 2 -stats >/dev/null 2>"$tracedir/verify.stats"
 # The lattice engine must actually carry the temporal restrictions...
