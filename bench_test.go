@@ -9,6 +9,7 @@ package gem
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"testing"
 
 	"gem/internal/ada"
@@ -25,6 +26,7 @@ import (
 	"gem/internal/problems/life"
 	"gem/internal/problems/oneslot"
 	"gem/internal/problems/rw"
+	"gem/internal/store"
 	"gem/internal/thread"
 	"gem/internal/verify"
 )
@@ -603,6 +605,67 @@ func BenchmarkE12FailingSpecs(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE14WarmStore measures incremental checking on the persistent
+// result store: the full readers-writers sat check (monitor solution,
+// lattice engine) against a cold store — every verdict evaluated and
+// written behind — versus a warm one, where every computation hits the
+// whole-check sat layer and skips projection, legality, and temporal
+// evaluation entirely. Exploration runs once outside the timer for both
+// arms, so the ratio isolates exactly what the store accelerates.
+func BenchmarkE14WarmStore(b *testing.B) {
+	var sc check.Scenario
+	for _, s := range check.Matrix() {
+		if s.Problem == "readers-writers" && s.Language == check.Monitor {
+			sc = s
+		}
+	}
+	problem, corr, err := sc.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comps []*core.Computation
+	truncated, err := sc.Stream(func(c *core.Computation) bool {
+		comps = append(comps, c)
+		return true
+	})
+	if err != nil || truncated {
+		b.Fatalf("exploration: truncated=%v err=%v", truncated, err)
+	}
+	runCheck := func(b *testing.B, st *store.Store) {
+		idx, res := verify.CheckAll(problem, comps, corr,
+			logic.CheckOptions{Engine: logic.EngineLattice, Cache: st})
+		if idx >= 0 {
+			b.Fatalf("computation %d: %v", idx, res.Error())
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(filepath.Join(dir, fmt.Sprint(i)), store.ReadWrite)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			runCheck(b, st)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.ReadWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runCheck(b, st) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runCheck(b, st)
+		}
+		if st.Stats().Hits == 0 {
+			b.Fatal("warm arm never hit the store")
+		}
+	})
 }
 
 // BenchmarkAblationClosureVsDFS compares the two temporal-order

@@ -6,6 +6,13 @@
 // record — a delta section with per-benchmark new/old ratios for ns/op
 // and B/op. The previous record may be in this format or in the
 // original bare-array format the awk pipeline emitted.
+//
+// The -compare A,B flag (repeatable) pairs two benchmarks of the same
+// run — typically a cold/warm pair like
+// BenchmarkE14WarmStore/cold,BenchmarkE14WarmStore/warm — and adds a
+// compare section with B's new/old ratios against A plus the A-over-B
+// speedup. An optional >=N suffix (A,B>=5) turns the report into a
+// gate: the run fails unless the speedup reaches the bound.
 package main
 
 import (
@@ -48,12 +55,24 @@ type Delta struct {
 	AllocsRatio *float64 `json:"allocs_ratio,omitempty"`
 }
 
+// Comparison is one -compare pair resolved against the current run: the
+// To benchmark's ratios with From as the baseline (the same new/old
+// convention as Delta, so values below 1 are improvements) plus the
+// From-over-To speedup — the number a cold/warm pair is quoted by.
+type Comparison struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Delta
+	Speedup *float64 `json:"speedup,omitempty"`
+}
+
 // Report is the full BENCH_<date>.json document.
 type Report struct {
-	Host       Host    `json:"host"`
-	Benchmarks []Bench `json:"benchmarks"`
-	DeltaVs    string  `json:"delta_vs,omitempty"`
-	Delta      []Delta `json:"delta,omitempty"`
+	Host       Host         `json:"host"`
+	Benchmarks []Bench      `json:"benchmarks"`
+	DeltaVs    string       `json:"delta_vs,omitempty"`
+	Delta      []Delta      `json:"delta,omitempty"`
+	Compare    []Comparison `json:"compare,omitempty"`
 }
 
 func main() {
@@ -70,6 +89,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs.Var(&asserts, "assert",
 		"fail unless the named benchmark's ns/op and allocs/op ratios vs -prev "+
 			"stay within the bound, e.g. 'BenchmarkE4MonitorRW/j1<=1.10' (repeatable)")
+	var compares compareList
+	fs.Var(&compares, "compare",
+		"pair two benchmarks of this run, reporting B-vs-A ratios and the A-over-B "+
+			"speedup, e.g. 'Bench/cold,Bench/warm'; add >=N to fail below that speedup (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +113,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		report.DeltaVs = filepath.Base(*prev)
 		report.Delta = deltas(report.Benchmarks, old)
 	}
+	report.Compare, err = comparisons(compares, report.Benchmarks)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
@@ -98,7 +125,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	// Assertions run after the record is written, so a regression still
 	// leaves the full record behind for diagnosis; only the exit status
 	// reports it.
-	return checkAsserts(asserts, report.Delta)
+	if err := checkAsserts(asserts, report.Delta); err != nil {
+		return err
+	}
+	return checkCompares(compares, report.Compare)
 }
 
 // assertion is one -assert bound: the benchmark's new/old ns and allocs
@@ -152,6 +182,94 @@ func checkAsserts(asserts []assertion, delta []Delta) error {
 		}
 		if d.AllocsRatio != nil && *d.AllocsRatio > a.Max {
 			return fmt.Errorf("assert %s: allocs/op ratio %.3f exceeds bound %g", a.Name, *d.AllocsRatio, a.Max)
+		}
+	}
+	return nil
+}
+
+// comparePair is one -compare request: report To against From within
+// the same run; MinSpeedup, when nonzero, makes the pair a gate.
+type comparePair struct {
+	From, To   string
+	MinSpeedup float64
+}
+
+type compareList []comparePair
+
+func (c *compareList) String() string {
+	parts := make([]string, len(*c))
+	for i, p := range *c {
+		parts[i] = p.From + "," + p.To
+		if p.MinSpeedup > 0 {
+			parts[i] += fmt.Sprintf(">=%g", p.MinSpeedup)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c *compareList) Set(v string) error {
+	spec := v
+	var min float64
+	if s, bound, ok := strings.Cut(v, ">="); ok {
+		m, err := strconv.ParseFloat(bound, 64)
+		if err != nil || m <= 0 {
+			return fmt.Errorf("bad speedup bound in %q", v)
+		}
+		spec, min = s, m
+	}
+	from, to, ok := strings.Cut(spec, ",")
+	if !ok || from == "" || to == "" {
+		return fmt.Errorf("want FROM,TO[>=SPEEDUP], got %q", v)
+	}
+	*c = append(*c, comparePair{From: from, To: to, MinSpeedup: min})
+	return nil
+}
+
+// comparisons resolves every -compare pair against the current run. A
+// pair whose benchmarks are not both present is an error — a comparison
+// that silently compares nothing reports nothing.
+func comparisons(pairs []comparePair, benches []Bench) ([]Comparison, error) {
+	byName := make(map[string]Bench, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var out []Comparison
+	for _, p := range pairs {
+		from, okF := byName[p.From]
+		to, okT := byName[p.To]
+		if !okF || !okT {
+			return nil, fmt.Errorf("compare %s,%s: both benchmarks must be present in this run", p.From, p.To)
+		}
+		// Reuse the delta machinery with From standing in as the
+		// "previous" record: rename To so the pairing matches.
+		renamed := to
+		renamed.Name = from.Name
+		cmp := Comparison{From: p.From, To: p.To}
+		if ds := deltas([]Bench{renamed}, []Bench{from}); len(ds) == 1 {
+			cmp.Delta = ds[0]
+			cmp.Delta.Name = p.To
+			if cmp.NsRatio != nil && *cmp.NsRatio > 0 {
+				s := 1 / *cmp.NsRatio
+				cmp.Speedup = &s
+			}
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+// checkCompares enforces the >=N speedup bounds of -compare pairs.
+func checkCompares(pairs []comparePair, cmps []Comparison) error {
+	for i, p := range pairs {
+		if p.MinSpeedup <= 0 {
+			continue
+		}
+		if i >= len(cmps) || cmps[i].Speedup == nil {
+			return fmt.Errorf("compare %s,%s: no ns/op speedup to compare", p.From, p.To)
+		}
+		if *cmps[i].Speedup < p.MinSpeedup {
+			return fmt.Errorf("compare %s,%s: speedup %.2fx below bound %gx",
+				p.From, p.To, *cmps[i].Speedup, p.MinSpeedup)
 		}
 	}
 	return nil

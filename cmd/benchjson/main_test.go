@@ -176,6 +176,60 @@ func TestAssertFlagValidation(t *testing.T) {
 	}
 }
 
+// TestCompare: -compare pairs two benchmarks of the same run, reports
+// the From-over-To speedup, and enforces an optional >=N bound.
+func TestCompare(t *testing.T) {
+	input := `goos: linux
+BenchmarkE14WarmStore/cold 	      10	 100000000 ns/op	      5000 B/op	      50 allocs/op
+BenchmarkE14WarmStore/warm 	     100	  10000000 ns/op	       500 B/op	       5 allocs/op
+`
+	var out bytes.Buffer
+	err := run([]string{"-compare", "BenchmarkE14WarmStore/cold,BenchmarkE14WarmStore/warm>=5"},
+		strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatalf("10x speedup failed a >=5 bound: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Compare) != 1 {
+		t.Fatalf("compare section has %d entries, want 1", len(report.Compare))
+	}
+	c := report.Compare[0]
+	if c.Speedup == nil || *c.Speedup < 9.99 || *c.Speedup > 10.01 {
+		t.Errorf("speedup = %v, want 10", c.Speedup)
+	}
+	if c.NsRatio == nil || *c.NsRatio < 0.099 || *c.NsRatio > 0.101 {
+		t.Errorf("ns_ratio = %v, want 0.1", c.NsRatio)
+	}
+
+	// A bound above the measured speedup fails — after the record is out.
+	out.Reset()
+	err = run([]string{"-compare", "BenchmarkE14WarmStore/cold,BenchmarkE14WarmStore/warm>=20"},
+		strings.NewReader(input), &out)
+	if err == nil || !strings.Contains(err.Error(), "below bound") {
+		t.Errorf("under-bound compare = %v, want below-bound failure", err)
+	}
+	if jerr := json.Unmarshal(out.Bytes(), &report); jerr != nil || len(report.Compare) == 0 {
+		t.Errorf("record not written before the failing compare bound: %v", jerr)
+	}
+
+	// A pair with an absent side fails loudly.
+	err = run([]string{"-compare", "BenchmarkNope,BenchmarkE14WarmStore/warm"},
+		strings.NewReader(input), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "both benchmarks") {
+		t.Errorf("missing-benchmark compare = %v, want both-present failure", err)
+	}
+
+	// Malformed specs are flag errors.
+	for _, bad := range []string{"OnlyOne", ",B", "A,", "A,B>=0", "A,B>=x"} {
+		if err := run([]string{"-compare", bad}, strings.NewReader(input), &bytes.Buffer{}); err == nil {
+			t.Errorf("malformed -compare %q accepted", bad)
+		}
+	}
+}
+
 func TestMissingPreviousFileErrors(t *testing.T) {
 	err := run([]string{"-prev", filepath.Join(t.TempDir(), "nope.json")},
 		strings.NewReader(sampleBench), &bytes.Buffer{})

@@ -15,7 +15,9 @@
 // and -cpuprofile/-memprofile write pprof
 // profiles for performance work. -trace writes a Chrome trace-event
 // JSON file (load in chrome://tracing or Perfetto) and -stats prints
-// span/counter statistics to stderr.
+// span/counter statistics to stderr. -cache (off, ro or rw; default rw)
+// and -cache-dir control the persistent result store used by the rw
+// matrix; the table is identical with the cache on, off, warm or cold.
 //
 // SIGINT (Ctrl-C) interrupts a long rw matrix cleanly: the exploration
 // and the checking pool stop promptly, the command exits non-zero with
@@ -45,6 +47,7 @@ import (
 	"gem/internal/problems/rw"
 	"gem/internal/profiling"
 	"gem/internal/spec"
+	"gem/internal/store"
 )
 
 func main() {
@@ -62,6 +65,8 @@ func run(args []string) (err error) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
+	cacheMode := fs.String("cache", "rw", "persistent result store: off, ro or rw")
+	cacheDir := fs.String("cache-dir", "", "result store directory (default $GEM_CACHE_DIR, else the user cache dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +102,15 @@ func run(args []string) (err error) {
 	case "histories":
 		err = histories()
 	case "rw":
-		err = rwMatrix(ctx, *j, engine)
+		st, serr := store.OpenFromFlags(*cacheMode, *cacheDir, os.Stderr)
+		if serr != nil {
+			return serr
+		}
+		var cache logic.VerdictCache
+		if st != nil {
+			cache = st
+		}
+		err = rwMatrix(ctx, *j, engine, cache)
 	case "distributed":
 		err = distributed()
 	default:
@@ -190,8 +203,9 @@ func histories() error {
 // simulator into a pool of property-checking workers; the aggregated
 // booleans are order-independent, so the table is identical at any j.
 // A cancelled ctx stops the exploration and the workers promptly; the
-// caller reports the interruption.
-func rwMatrix(ctx context.Context, j int, engine logic.Engine) error {
+// caller reports the interruption. cache, when non-nil, serves property
+// verdicts from the persistent store; the table is identical either way.
+func rwMatrix(ctx context.Context, j int, engine logic.Engine, cache logic.VerdictCache) error {
 	// Pre-flight: the Readers/Writers problem specification itself must
 	// be statically well-formed before any variant is explored.
 	if s, err := rw.ProblemSpec([]string{"r1", "r2", "w1"}, true); err != nil {
@@ -205,7 +219,7 @@ func rwMatrix(ctx context.Context, j int, engine logic.Engine) error {
 	// spans in legal.Check.
 	holds := func(name string, f logic.Formula, comp *core.Computation) bool {
 		pctx, sp := obs.StartSpan(ctx, name)
-		cx := logic.Holds(f, comp, logic.CheckOptions{Engine: engine, Ctx: pctx})
+		cx := logic.Holds(f, comp, logic.CheckOptions{Engine: engine, Ctx: pctx, Cache: cache})
 		sp.End()
 		return cx == nil
 	}

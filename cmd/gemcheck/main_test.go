@@ -1,10 +1,27 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// TestMain points the persistent result store at a throwaway directory:
+// the rw subcommand opens it by default (-cache rw), and tests — and
+// the interrupt test's subprocess, which inherits the environment —
+// must never touch the real user cache dir.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "gemcheck-test-cache-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Setenv("GEM_CACHE_DIR", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 func TestChecks(t *testing.T) {
 	for _, sub := range []string{"access", "histories", "rw", "distributed"} {

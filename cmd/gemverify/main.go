@@ -25,6 +25,19 @@
 // in chrome://tracing or Perfetto) and -stats prints span/counter
 // statistics to stderr.
 //
+// The -cache flag (off, ro, or rw; default rw) controls the persistent
+// result store behind incremental checking: restriction verdicts, guard
+// vectors, whole-check sat records, and history-lattice artifacts are
+// keyed by content hashes of the canonical spec and the computation
+// fingerprint, so a repeat run against an unchanged spec serves verdicts
+// from disk instead of re-evaluating. -cache-dir overrides the location
+// (default $GEM_CACHE_DIR, else the user cache dir); GEM_CACHE_BUDGET
+// bounds the cache size in bytes. Verdicts, counterexample renderings,
+// and exit codes are identical with the cache on, off, warm, or cold.
+//
+// -sarif writes the matrix outcome as a SARIF log: one GEM017 result per
+// failed cell, an empty result set for a fully verified matrix.
+//
 // SIGINT (Ctrl-C) interrupts the run cleanly: exploration and checking
 // stop promptly, the command exits non-zero with an "interrupted"
 // error, and any requested profile, trace, and stats files are still
@@ -40,9 +53,11 @@ import (
 	"runtime"
 
 	"gem/internal/check"
+	"gem/internal/lint"
 	"gem/internal/logic"
 	"gem/internal/obs"
 	"gem/internal/profiling"
+	"gem/internal/store"
 )
 
 func main() {
@@ -60,6 +75,9 @@ func run(args []string) (err error) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto)")
 	stats := fs.Bool("stats", false, "print span and counter statistics to stderr on exit")
+	cacheMode := fs.String("cache", "rw", "persistent result store: off, ro or rw")
+	cacheDir := fs.String("cache-dir", "", "result store directory (default $GEM_CACHE_DIR, else the user cache dir)")
+	sarif := fs.String("sarif", "", "write the matrix outcome as SARIF to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,13 +104,59 @@ func run(args []string) (err error) {
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSig()
 
-	opts := check.Options{Parallelism: *j, Engine: engine, Ctx: ctx}
-	if err := check.RunMatrix(os.Stdout, opts); err != nil {
+	st, err := store.OpenFromFlags(*cacheMode, *cacheDir, os.Stderr)
+	if err != nil {
 		return err
+	}
+
+	opts := check.Options{Parallelism: *j, Engine: engine, Ctx: ctx}
+	if st != nil {
+		opts.Cache = st
+	}
+	cells, merr := check.RunMatrixCells(os.Stdout, opts)
+	// The SARIF log is written even for a failing matrix — the failures
+	// are exactly what it exists to report.
+	if serr := writeSARIF(*sarif, cells); serr != nil && merr == nil {
+		merr = serr
+	}
+	if merr != nil {
+		return merr
 	}
 	fmt.Println("\nnegative controls (must be refuted):")
 	if err := check.RunRefutations(os.Stdout, opts); err != nil {
 		return err
 	}
 	return profiling.WriteHeap(*memprofile)
+}
+
+// writeSARIF renders the matrix cells as a SARIF log: one GEM017 result
+// per failed cell (the cell name as the subject, the failure — including
+// any counterexample rendering — as the message), none for a verified
+// matrix. The output is deterministic for deterministic cell outcomes,
+// so a warm-cache run emits a byte-identical log.
+func writeSARIF(path string, cells []check.Cell) error {
+	if path == "" {
+		return nil
+	}
+	var diags []lint.FileDiagnostic
+	for _, cell := range cells {
+		if cell.Verified || cell.Err == nil {
+			continue
+		}
+		diags = append(diags, lint.FileDiagnostic{Diagnostic: lint.Diagnostic{
+			Code:     lint.CodeSatRefuted,
+			Severity: lint.SeverityError,
+			Subject:  cell.Scenario.Problem + "/" + string(cell.Scenario.Language),
+			Message:  cell.Err.Error(),
+		}})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := lint.WriteSARIFAs(f, "gemverify", diags)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -45,6 +45,12 @@ type Options struct {
 	// check workers promptly, and the scenario reports an interrupted
 	// cell instead of a verdict. nil means never cancelled.
 	Ctx context.Context
+	// Cache, when non-nil, is the persistent result store threaded into
+	// every sat check: restriction verdicts, fast-path guard vectors,
+	// and (when the value also implements verify.SatCache) whole-check
+	// sat records are looked up before evaluating and written behind on
+	// a miss. Verdicts are identical with and without it.
+	Cache logic.VerdictCache
 }
 
 // streamBatch is how many computations the streaming producer groups
@@ -134,7 +140,7 @@ func (s Scenario) Run(opts ...Options) Cell {
 		if err != nil {
 			return Cell{Scenario: s, Err: err, Elapsed: time.Since(start)}
 		}
-		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: opt.Engine, Ctx: ctx})
+		idx, res := verify.CheckAll(problem, comps, corr, logic.CheckOptions{Engine: opt.Engine, Ctx: ctx, Cache: opt.Cache})
 		cell := Cell{Scenario: s, Runs: len(comps), Elapsed: time.Since(start)}
 		if idx >= 0 {
 			cell.Err = fmt.Errorf("computation %d: %w", idx, res.Error())
@@ -176,7 +182,7 @@ func (s Scenario) Run(opts ...Options) Cell {
 		prodTrunc, prodErr = trunc, err
 	}()
 	idx, res := verify.CheckStream(problem, ch, func() { stopFlag.Store(true) },
-		corr, logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: ctx})
+		corr, logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: ctx, Cache: opt.Cache})
 	cell := Cell{Scenario: s, Runs: produced, Elapsed: time.Since(start)}
 	switch {
 	case idx >= 0:
@@ -354,9 +360,18 @@ func rwScenario(lang Language) Scenario {
 // error if any cell fails. Pass Options{Parallelism: n} to use the
 // parallel streaming engine.
 func RunMatrix(w io.Writer, opts ...Options) error {
+	_, err := RunMatrixCells(w, opts...)
+	return err
+}
+
+// RunMatrixCells is RunMatrix returning the executed cells as well, in
+// matrix order, so front ends (gemverify -sarif) can render the outcomes
+// in other formats. An interrupted matrix returns the cells that ran.
+func RunMatrixCells(w io.Writer, opts ...Options) ([]Cell, error) {
 	opt := firstOpt(opts)
 	done := logic.Done(opt.Ctx)
 	fmt.Fprintf(w, "%-18s %-9s %9s %9s  %s\n", "PROBLEM", "LANGUAGE", "RUNS", "TIME", "RESULT")
+	var cells []Cell
 	var firstErr error
 	for _, s := range Matrix() {
 		if logic.Cancelled(done) {
@@ -366,6 +381,7 @@ func RunMatrix(w io.Writer, opts ...Options) error {
 			break
 		}
 		cell := s.Run(opt)
+		cells = append(cells, cell)
 		result := "verified"
 		if !cell.Verified {
 			result = "FAILED: " + cell.Err.Error()
@@ -376,7 +392,7 @@ func RunMatrix(w io.Writer, opts ...Options) error {
 		fmt.Fprintf(w, "%-18s %-9s %9d %9s  %s\n",
 			s.Problem, s.Language, cell.Runs, cell.Elapsed.Round(time.Millisecond), result)
 	}
-	return firstErr
+	return cells, firstErr
 }
 
 // Refutation is a deliberately wrong solution paired with the problem
@@ -460,7 +476,7 @@ func RunRefutations(w io.Writer, opts ...Options) error {
 			continue
 		}
 		idx, _ := verify.CheckAll(problem, comps, corr,
-			logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: opt.Ctx})
+			logic.CheckOptions{Parallelism: opt.Parallelism, Engine: opt.Engine, Ctx: opt.Ctx, Cache: opt.Cache})
 		if idx < 0 {
 			fmt.Fprintf(w, "%-55s NOT refuted (%d computations) — matrix broken\n", r.Name, len(comps))
 			if firstErr == nil {

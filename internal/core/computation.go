@@ -29,8 +29,17 @@ type Computation struct {
 // build on first request. A computation is immutable once built, so
 // derived data (e.g. its history lattice) is computed at most once and
 // shared by every checker that needs it; the cache lives and dies with
-// the computation. Safe for concurrent use; build runs at most once per
-// key and must not call Derived on the same computation.
+// the computation.
+//
+// Contract: safe for concurrent use, and build runs at most once per
+// key — ever. The per-computation mutex is held across the build, so
+// concurrent callers for the same key block until the single build
+// finishes and then all observe the identical value; no caller ever
+// runs a duplicate build whose result is discarded. The same mutex
+// serializes builds for different keys on one computation, so build
+// must be a pure function of the (immutable) computation: it must not
+// call Derived on the same computation, and it must not block on work
+// that does. TestDerivedSingleBuild pins this contract under -race.
 func (c *Computation) Derived(key string, build func() any) any {
 	c.derivedMu.Lock()
 	defer c.derivedMu.Unlock()

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+func fpComp(t *testing.T, label func(*Builder, EventID)) *Computation {
+	t.Helper()
+	b := NewBuilder()
+	a := b.Event("e", "A", Params{"n": Int(1), "s": Str("x")})
+	c := b.Event("f", "B", nil)
+	b.Enable(a, c)
+	if label != nil {
+		label(b, c)
+	}
+	comp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	c1 := fpComp(t, nil)
+	c2 := fpComp(t, nil)
+	if Fingerprint(c1) != Fingerprint(c2) {
+		t.Error("identical computations fingerprint differently")
+	}
+	if Fingerprint(c1) != Fingerprint(c1) {
+		t.Error("fingerprint not memoized-stable")
+	}
+	// Different parameter value.
+	b := NewBuilder()
+	a := b.Event("e", "A", Params{"n": Int(2), "s": Str("x")})
+	c := b.Event("f", "B", nil)
+	b.Enable(a, c)
+	c3, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(c1) == Fingerprint(c3) {
+		t.Error("parameter edit kept the fingerprint")
+	}
+	// Different enable structure.
+	b = NewBuilder()
+	b.Event("e", "A", Params{"n": Int(1), "s": Str("x")})
+	b.Event("f", "B", nil)
+	c4, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(c1) == Fingerprint(c4) {
+		t.Error("dropped enable edge kept the fingerprint")
+	}
+	// Thread labels are part of the fingerprint, in any labelling order.
+	l1 := fpComp(t, func(b *Builder, id EventID) { b.Thread(id, "t1"); b.Thread(id, "t2") })
+	l2 := fpComp(t, func(b *Builder, id EventID) { b.Thread(id, "t2"); b.Thread(id, "t1") })
+	if Fingerprint(l1) != Fingerprint(l2) {
+		t.Error("thread labelling order changed the fingerprint")
+	}
+	if Fingerprint(l1) == Fingerprint(c1) {
+		t.Error("thread labels not covered by the fingerprint")
+	}
+}

@@ -1,0 +1,83 @@
+package gemlang
+
+import (
+	"testing"
+
+	"gem/internal/logic"
+)
+
+// Hashes must be position-independent: the same restriction parsed from
+// differently formatted sources (extra whitespace, comments, reordered
+// surrounding declarations) hashes identically, and a semantic edit
+// changes the hash.
+func TestHashSpecPositionIndependent(t *testing.T) {
+	a := `SPEC s
+ELEMENT e
+  EVENTS
+    A
+    B
+  RESTRICTIONS
+    "r": [] (~(occurred(x) & x : A)) ;
+END`
+	b := `SPEC s
+
+ELEMENT e
+  EVENTS
+    A
+    B
+
+  RESTRICTIONS
+    "r":
+      [] ( ~( occurred(x) & x : A ) ) ;
+END`
+	edited := `SPEC s
+ELEMENT e
+  EVENTS
+    A
+    B
+  RESTRICTIONS
+    "r": [] (~(occurred(x) & x : B)) ;
+END`
+	sa, err := Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Parse(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HashSpec(sa) != HashSpec(sb) {
+		t.Errorf("reformatted spec changed the hash:\n%s\nvs\n%s", Format(sa), Format(sb))
+	}
+	if HashSpec(sa) == HashSpec(se) {
+		t.Error("semantic edit did not change the spec hash")
+	}
+	ra, re := sa.Restrictions(), se.Restrictions()
+	if HashFormula(ra[0].F) != HashFormula(sb.Restrictions()[0].F) {
+		t.Error("reformatted restriction changed the formula hash")
+	}
+	if HashFormula(ra[0].F) == HashFormula(re[0].F) {
+		t.Error("edited restriction kept the formula hash")
+	}
+}
+
+// Formulas without surface syntax must still hash (via the String
+// fallback), never panic.
+type opaqueFormula struct{ logic.Formula }
+
+func (opaqueFormula) String() string { return "opaque-test-formula" }
+
+func TestHashFormulaOpaqueFallback(t *testing.T) {
+	h1 := HashFormula(opaqueFormula{})
+	h2 := HashFormula(opaqueFormula{})
+	if h1 != h2 || len(h1) != 64 {
+		t.Errorf("opaque formula hash unstable or malformed: %q vs %q", h1, h2)
+	}
+	if h1 == HashFormula(logic.TrueF{}) {
+		t.Error("opaque fallback collided with a surface formula")
+	}
+}

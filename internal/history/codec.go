@@ -1,0 +1,163 @@
+package history
+
+// This file implements lattice serialization for the persistent store:
+// a versioned binary encoding of a computation's full history
+// enumeration, in enumeration order, so a warm process can seed the
+// shared lattice without re-running the exponential ideal enumeration.
+// The format is self-describing (magic + version + event count);
+// anything malformed, truncated, or version-skewed decodes to an error
+// — the store treats that as a cache miss, never a wrong lattice.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gem/internal/obs"
+	"gem/internal/order"
+)
+
+// latticeMagic and LatticeFormatVersion identify the artifact encoding.
+// Bump the version whenever the byte layout or the enumeration order of
+// order.IdealsPre changes: the version participates in the store key, so
+// old artifacts become unreachable instead of mis-decoded.
+const (
+	latticeMagic         = "GLAT"
+	LatticeFormatVersion = 1
+)
+
+// Encode serializes the enumerated history lattice. It returns nil when
+// the lattice has not been enumerated yet (there is nothing worth
+// persisting — encoding would force the exponential build the caller is
+// trying to avoid).
+//
+// Layout: "GLAT" | version byte | uvarint numEvents | uvarint
+// numHistories | per history: uvarint size, then the member event ids
+// delta-encoded as uvarints (first member +1, successive gaps).
+func (l *Lattice) Encode() []byte {
+	if !l.Enumerated() {
+		return nil
+	}
+	var buf [binary.MaxVarintLen64]byte
+	out := append([]byte(latticeMagic), LatticeFormatVersion)
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		out = append(out, buf[:n]...)
+	}
+	putUvarint(uint64(l.c.NumEvents()))
+	putUvarint(uint64(len(l.histories)))
+	for _, h := range l.histories {
+		members := h.set.Members()
+		putUvarint(uint64(len(members)))
+		prev := -1
+		for _, m := range members {
+			putUvarint(uint64(m - prev))
+			prev = m
+		}
+	}
+	return out
+}
+
+// Hydrate installs a previously encoded enumeration into an
+// un-enumerated lattice, so Histories (and everything derived from it:
+// Pairs, Steps, EvalOrder) serves the persisted enumeration instead of
+// rebuilding it. Validation is strict — wrong magic or version, a
+// truncated payload, out-of-range or non-increasing members, an event
+// count that does not match the computation, trailing bytes, or any set
+// that is not prefix-closed under this computation's temporal order all
+// return an error and leave the lattice untouched, ready to enumerate
+// normally. A hydration does not count as a lattice build
+// (LatticeBuilds), which is exactly the point.
+//
+// If the lattice was already enumerated, Hydrate is a no-op.
+func (l *Lattice) Hydrate(data []byte) error {
+	if l.Enumerated() {
+		return nil
+	}
+	decoded, err := decodeLatticeHistories(l.c.NumEvents(), l.c.Preds(), data)
+	if err != nil {
+		return err
+	}
+	installed := false
+	l.histOnce.Do(func() {
+		for i := range decoded {
+			decoded[i].c = l.c
+		}
+		l.histories = decoded
+		l.built.Store(true)
+		installed = true
+	})
+	if installed {
+		obs.Count("lattice.hydrated", 1)
+		obs.Count("lattice.histories", int64(len(l.histories)))
+		obs.SetMax("lattice.max_histories", int64(len(l.histories)))
+	}
+	return nil
+}
+
+var errLatticeCorrupt = errors.New("history: malformed lattice artifact")
+
+// decodeLatticeHistories parses and validates the payload against a
+// computation with numEvents events and the given predecessor sets. The
+// returned histories have their computation pointer unset; Hydrate fills
+// it in.
+func decodeLatticeHistories(numEvents int, preds []order.Bitset, data []byte) ([]History, error) {
+	if len(data) < len(latticeMagic)+1 || string(data[:len(latticeMagic)]) != latticeMagic {
+		return nil, errLatticeCorrupt
+	}
+	if data[len(latticeMagic)] != LatticeFormatVersion {
+		return nil, fmt.Errorf("history: lattice artifact version %d, want %d", data[len(latticeMagic)], LatticeFormatVersion)
+	}
+	rest := data[len(latticeMagic)+1:]
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	n, ok := next()
+	if !ok || int(n) != numEvents {
+		return nil, errLatticeCorrupt
+	}
+	count, ok := next()
+	if !ok {
+		return nil, errLatticeCorrupt
+	}
+	// Each history costs at least one byte (its size varint), so a count
+	// exceeding the remaining bytes is corrupt — checked before any
+	// allocation so fuzzed headers cannot demand huge slices.
+	if count > uint64(len(rest))+1 {
+		return nil, errLatticeCorrupt
+	}
+	histories := make([]History, 0, count)
+	for i := uint64(0); i < count; i++ {
+		size, ok := next()
+		if !ok || size > uint64(numEvents) {
+			return nil, errLatticeCorrupt
+		}
+		set := order.NewBitset(numEvents)
+		prev := -1
+		for j := uint64(0); j < size; j++ {
+			gap, ok := next()
+			if !ok || gap == 0 || gap > uint64(numEvents) {
+				return nil, errLatticeCorrupt
+			}
+			m := prev + int(gap)
+			if m >= numEvents {
+				return nil, errLatticeCorrupt
+			}
+			set.Set(m)
+			prev = m
+		}
+		if !order.IsIdeal(preds, set) {
+			return nil, errLatticeCorrupt
+		}
+		histories = append(histories, History{set: set})
+	}
+	if len(rest) != 0 {
+		return nil, errLatticeCorrupt
+	}
+	return histories, nil
+}

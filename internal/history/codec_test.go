@@ -1,0 +1,114 @@
+package history
+
+import (
+	"testing"
+
+	"gem/internal/core"
+)
+
+func codecComp(t *testing.T) *core.Computation {
+	t.Helper()
+	b := core.NewBuilder()
+	a := b.Event("e", "A", nil)
+	c := b.Event("e", "B", nil)
+	d := b.Event("f", "C", nil)
+	b.Enable(a, d)
+	_ = c
+	comp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// Encode → Hydrate must round-trip the exact enumeration: same count,
+// same sets, same order — a hydrated lattice is indistinguishable from
+// an enumerated one, without counting as a build.
+func TestLatticeCodecRoundTrip(t *testing.T) {
+	src := codecComp(t)
+	lat := Shared(src)
+	want := lat.Histories()
+	data := lat.Encode()
+	if data == nil {
+		t.Fatal("Encode returned nil after enumeration")
+	}
+
+	dst := codecComp(t)
+	builds := LatticeBuilds()
+	warm := Shared(dst)
+	if warm.Enumerated() {
+		t.Fatal("fresh lattice claims to be enumerated")
+	}
+	if err := warm.Hydrate(data); err != nil {
+		t.Fatal(err)
+	}
+	if LatticeBuilds() != builds {
+		t.Error("hydration counted as a lattice build")
+	}
+	got := warm.Histories()
+	if LatticeBuilds() != builds {
+		t.Error("Histories re-enumerated a hydrated lattice")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hydrated %d histories, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Set().Equal(want[i].Set()) {
+			t.Fatalf("history %d differs: %s vs %s", i, got[i], want[i])
+		}
+		if got[i].Computation() != dst {
+			t.Fatalf("history %d not bound to the hydrating computation", i)
+		}
+	}
+	// Derived structures work off the hydrated enumeration.
+	if len(warm.Steps()) != len(Shared(src).Steps()) {
+		t.Error("Steps disagrees after hydration")
+	}
+}
+
+// Anything malformed must decode to an error and leave the lattice
+// ready to enumerate normally.
+func TestLatticeHydrateRejectsCorrupt(t *testing.T) {
+	src := codecComp(t)
+	lat := Shared(src)
+	n := len(lat.Histories())
+	good := lat.Encode()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XLAT"), good[4:]...),
+		"bad version":    append([]byte("GLAT\xff"), good[5:]...),
+		"truncated":      good[:len(good)-1],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	// Wrong event count: an artifact for a different computation shape.
+	other := core.NewBuilder()
+	other.Event("e", "A", nil)
+	oc, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol := Shared(oc)
+	ol.Histories()
+	cases["wrong computation"] = ol.Encode()
+
+	for name, data := range cases {
+		fresh := Shared(codecComp(t))
+		if err := fresh.Hydrate(data); err == nil {
+			t.Errorf("%s: Hydrate accepted malformed payload", name)
+		}
+		if fresh.Enumerated() {
+			t.Errorf("%s: failed hydration left the lattice marked enumerated", name)
+		}
+		if len(fresh.Histories()) != n {
+			t.Errorf("%s: enumeration after failed hydration broken", name)
+		}
+	}
+
+	// Hydrate after enumeration is a no-op, even with garbage.
+	done := Shared(codecComp(t))
+	done.Histories()
+	if err := done.Hydrate([]byte("garbage")); err != nil {
+		t.Errorf("Hydrate on an enumerated lattice returned %v, want nil no-op", err)
+	}
+}

@@ -30,6 +30,17 @@ const (
 	CodeDoubleLock Code = "GEM016"
 )
 
+// The verification codes — produced by gemverify's SARIF output rather
+// than a static analysis: each is a dynamic finding over an exhaustive
+// exploration, not a lint of the spec text.
+const (
+	// CodeSatRefuted: a solution computation fails the sat check against
+	// its problem specification — the verification matrix found a
+	// counterexample computation, so the solution does not implement the
+	// problem.
+	CodeSatRefuted Code = "GEM017"
+)
+
 // CodeInfo is one row of the shared code registry: a stable code, its
 // one-line summary (also the SARIF rule description), and the severity
 // its producer assigns.
@@ -60,6 +71,7 @@ var registry = []CodeInfo{
 	{CodeLockInversion, "mutexes acquired in opposite orders by different goroutines", SeverityWarning},
 	{CodeBlockForever, "goroutine that can block forever (static partial deadlock)", SeverityWarning},
 	{CodeDoubleLock, "second acquisition of a non-reentrant mutex already held", SeverityError},
+	{CodeSatRefuted, "solution computation refuted by its problem specification", SeverityError},
 }
 
 // Registry returns the shared code table, ordered by code. The returned

@@ -1,0 +1,32 @@
+package logic
+
+import "gem/internal/core"
+
+// VerdictCache is a persistent restriction-verdict store consulted by
+// Holds before evaluating and written behind on a miss. Implementations
+// (internal/store) key entries by the formula's canonical content hash,
+// the computation fingerprint, and the engine — restriction-granular, so
+// editing one restriction of a spec invalidates only that restriction's
+// entries. The interface lives here (and is satisfied structurally) so
+// logic does not import the store.
+//
+// Contract: Lookup must return (verdict, true) only for an entry written
+// by Store with the same key on a semantically identical evaluation —
+// the returned counterexample must be either nil (the formula held) or a
+// genuine falsifying witness for f on c (Counterexample.Verify).
+// Implementations must be safe for concurrent use and must degrade any
+// internal failure (missing, corrupt, truncated, version-skewed entry)
+// to a miss, never a wrong verdict.
+type VerdictCache interface {
+	Lookup(f Formula, c *core.Computation, engine Engine) (*Counterexample, bool)
+	Store(f Formula, c *core.Computation, engine Engine, cx *Counterexample)
+}
+
+// Cacheable reports whether the options describe an evaluation whose
+// verdict may be served from (or written to) a persistent cache: the
+// full GEM semantics, with no enumeration budgets and no LinearOnly
+// ablation — those options change what is checked, so their verdicts
+// must never alias the unbudgeted ones.
+func (o CheckOptions) Cacheable() bool {
+	return o.MaxSequences == 0 && o.MaxHistories == 0 && !o.LinearOnly
+}

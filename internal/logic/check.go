@@ -87,6 +87,13 @@ type CheckOptions struct {
 	// formula evaluations are not interrupted mid-enumeration, so
 	// cancellation latency is bounded by one unit of work.
 	Ctx context.Context
+	// Cache, when non-nil, is consulted before each top-level formula
+	// evaluation and written behind on a miss (lookup-before-evaluate).
+	// It is bypassed whenever the options are not Cacheable (enumeration
+	// budgets or the LinearOnly ablation change the checked semantics),
+	// and nothing is written after the context has been cancelled — a
+	// truncated evaluation must never be persisted as a verdict.
+	Cache VerdictCache
 }
 
 // Holds checks a restriction against a computation following GEM
@@ -100,7 +107,28 @@ type CheckOptions struct {
 //   - A purely structural formula is evaluated once at the full history.
 //
 // It returns nil when the restriction holds, or a counterexample.
+//
+// With opts.Cache set (and the options Cacheable), the persistent store
+// is consulted first and written behind on a miss; the cache is keyed at
+// the whole-formula level, so the recursive And-split below always
+// evaluates with the cache cleared.
 func Holds(f Formula, c *core.Computation, opts CheckOptions) *Counterexample {
+	if cache := opts.Cache; cache != nil {
+		opts.Cache = nil
+		if opts.Cacheable() {
+			if cx, ok := cache.Lookup(f, c, opts.Engine); ok {
+				return cx
+			}
+			cx := Holds(f, c, opts)
+			// A cancelled context may have truncated the evaluation (the
+			// engines poll it between units of work); a truncated "pass"
+			// is not a verdict, so skip the write-behind entirely.
+			if !Cancelled(Done(opts.Ctx)) {
+				cache.Store(f, c, opts.Engine, cx)
+			}
+			return cx
+		}
+	}
 	// Universal checking distributes over conjunction; checking conjuncts
 	// separately lets each pick its cheapest sound strategy (notably the
 	// □-invariant reduction below).

@@ -69,6 +69,54 @@ type Correspondence struct {
 	Rules []Rule
 }
 
+// CanonicalKey renders the correspondence deterministically (map fields
+// sorted by key), so equal correspondences — however their maps were
+// built — produce equal strings. The persistent store folds it into the
+// sat-record key: a sat verdict is a function of the problem spec, the
+// program computation, the correspondence, and the engine.
+func (corr Correspondence) CanonicalKey() string {
+	var sb strings.Builder
+	for _, r := range corr.Rules {
+		fmt.Fprintf(&sb, "rule|%s|", r.Match)
+		writeSortedParams(&sb, r.Where)
+		fmt.Fprintf(&sb, "|%s|%s|", r.Element, r.Class)
+		keys := make([]string, 0, len(r.CopyParams))
+		for k := range r.CopyParams {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s=%s;", k, r.CopyParams[k])
+		}
+		fmt.Fprintf(&sb, "|%s|%s|%d|%t\n", r.KeyParam, r.Chain, r.Stage, r.Relaxed)
+	}
+	return sb.String()
+}
+
+func writeSortedParams(sb *strings.Builder, p core.Params) {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%s;", k, p[k])
+	}
+}
+
+// SatCache persists successful sat checks: LookupSat reports whether a
+// prior run recorded that this (problem, correspondence, computation,
+// engine) combination satisfied the problem, and StoreSat records one.
+// Only sat == true is ever stored — failures are recomputed so their
+// counterexamples stay fresh — which makes a hit sufficient to return a
+// passing Result without projecting at all. Implementations
+// (internal/store) must be safe for concurrent use and degrade internal
+// failures to a miss.
+type SatCache interface {
+	LookupSat(problem *spec.Spec, c *core.Computation, corrKey string, engine logic.Engine) bool
+	StoreSat(problem *spec.Spec, c *core.Computation, corrKey string, engine logic.Engine)
+}
+
 // Projection is the result of projecting a program computation.
 type Projection struct {
 	Comp *core.Computation
@@ -254,8 +302,27 @@ func (r Result) Error() error {
 // default engine a failure is refuted inside the lattice fixpoint
 // engine, with the witness sequence extracted from the history lattice
 // rather than recomputed by sequence enumeration.
+// With opts.Cache set to a store that also implements SatCache, a
+// recorded sat for this exact (problem, correspondence, computation,
+// engine) key short-circuits the whole check — no projection, no
+// legality pass; the returned Result is the passing zero Result (nil
+// Projection), which callers must treat as sat-only. On a miss the
+// check runs normally — restriction verdicts flowing through
+// opts.Cache, guard vectors through the GuardCache — and a passing,
+// uncancelled result is written behind.
 func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts logic.CheckOptions) Result {
 	obs.Count("sat.checks", 1)
+	var sat SatCache
+	var corrKey string
+	if opts.Cache != nil && opts.Cacheable() {
+		if s, ok := opts.Cache.(SatCache); ok {
+			sat = s
+			corrKey = corr.CanonicalKey()
+			if sat.LookupSat(problem, c, corrKey, opts.Engine) {
+				return Result{}
+			}
+		}
+	}
 	proj, err := Project(c, corr)
 	if err != nil {
 		return Result{ProjectionErr: err}
@@ -265,8 +332,21 @@ func Check(problem *spec.Spec, c *core.Computation, corr Correspondence, opts lo
 	// restrictions the lint analyzer proved statically unsatisfiable;
 	// FastPath skips enumeration for restrictions the deep analyzer's
 	// emptiness guards prove to hold on this projection.
-	res := legal.Check(problem, proj.Comp, legal.Options{Check: opts, Prelint: true, FastPath: true})
-	return Result{Projection: proj, Legality: res}
+	lopts := legal.Options{Check: opts, Prelint: true, FastPath: true}
+	if opts.Cache != nil {
+		if g, ok := opts.Cache.(legal.GuardCache); ok && opts.Cacheable() {
+			lopts.Guards = g
+		}
+	}
+	res := legal.Check(problem, proj.Comp, lopts)
+	r := Result{Projection: proj, Legality: res}
+	// Write the sat record only for a genuine, complete pass: a
+	// cancelled context can truncate legal.Check into an empty (passing-
+	// looking) partial result, which must never be persisted.
+	if sat != nil && r.Sat() && !logic.Cancelled(logic.Done(opts.Ctx)) {
+		sat.StoreSat(problem, c, corrKey, opts.Engine)
+	}
+	return r
 }
 
 // CheckAll runs Check over a set of program computations (e.g. every run

@@ -26,6 +26,15 @@ prev="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
 echo "==> go test -run '^$' -bench $pattern -benchmem ./..."
 go test -run '^$' -bench "$pattern" -benchmem ./... | tee "$txt"
 
+# The warm arm of E14 must stay dramatically faster than the cold arm —
+# the incremental-checking claim. It is an in-run comparison (no
+# baseline record needed), added conditionally so filtered sweeps that
+# skip E14 still work.
+compares=""
+if grep -q 'BenchmarkE14WarmStore/cold' "$txt" && grep -q 'BenchmarkE14WarmStore/warm' "$txt"; then
+	compares="-compare BenchmarkE14WarmStore/cold,BenchmarkE14WarmStore/warm>=5"
+fi
+
 if [ -n "$prev" ]; then
 	# The always-on instrumentation (internal/obs) must stay free when
 	# disabled: the E4 j1 ns/op and allocs/op ratios against the previous
@@ -42,18 +51,24 @@ if [ -n "$prev" ]; then
 		asserts="$asserts -assert BenchmarkE12FailingSpecs/reads-finish-first/engine=lattice<=1.10"
 	fi
 	status=0
-	# shellcheck disable=SC2086 # $asserts is a flag list, word-split on purpose
-	go run ./cmd/benchjson -prev "$prev" $asserts \
+	# shellcheck disable=SC2086 # $asserts/$compares are flag lists, word-split on purpose
+	go run ./cmd/benchjson -prev "$prev" $asserts $compares \
 		<"$txt" >"$json.tmp" || status=$?
 	mv "$json.tmp" "$json"
 	echo "==> wrote $txt and $json (delta vs $prev)"
 	if [ "$status" -ne 0 ]; then
-		echo "==> FAIL: benchmark regression vs $prev (see delta section in $json)" >&2
+		echo "==> FAIL: benchmark regression vs $prev (see delta/compare sections in $json)" >&2
 		exit "$status"
 	fi
 else
 	echo "==> no baseline BENCH_*.json found, skipping regression asserts"
-	go run ./cmd/benchjson <"$txt" >"$json.tmp"
+	status=0
+	# shellcheck disable=SC2086 # $compares is a flag list, word-split on purpose
+	go run ./cmd/benchjson $compares <"$txt" >"$json.tmp" || status=$?
 	mv "$json.tmp" "$json"
 	echo "==> wrote $txt and $json (this run becomes the baseline)"
+	if [ "$status" -ne 0 ]; then
+		echo "==> FAIL: warm-store speedup below bound (see compare section in $json)" >&2
+		exit "$status"
+	fi
 fi

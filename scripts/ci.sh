@@ -30,7 +30,7 @@ echo "==> observability smoke: -stats/-trace produce valid trace-event JSON"
 tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
 go run ./cmd/gemlint -deep -stats -trace "$tracedir/lint.json" examples/specs/*.gem >/dev/null 2>"$tracedir/lint.stats"
-go run ./cmd/gemcheck -j 2 -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
+go run ./cmd/gemcheck -j 2 -cache off -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
 go run ./cmd/tracecheck -min-spans 1 "$tracedir/lint.json" "$tracedir/check.json"
 grep -q '== spans ==' "$tracedir/check.stats"
 echo "==> gemgo fixture corpus: defects report exactly their code, cleans report nothing"
@@ -65,7 +65,9 @@ grep -q '"version": "2.1.0"' "$tracedir/gemgo.sarif"
 grep -q '"name": "gemgo"' "$tracedir/gemgo.sarif"
 grep -q '"ruleId": "GEM013"' "$tracedir/gemgo.sarif"
 echo "==> lattice engine gate: full matrix under forced -engine lattice, no silent seq fallback"
-go run ./cmd/gemverify -engine lattice -j 2 -stats >/dev/null 2>"$tracedir/verify.stats"
+# -cache off keeps this gate hermetic: a warm store would serve the
+# verdicts from disk and the engine.lattice spans below would vanish.
+go run ./cmd/gemverify -engine lattice -j 2 -cache off -stats >/dev/null 2>"$tracedir/verify.stats"
 # The lattice engine must actually carry the temporal restrictions...
 grep -q 'engine\.lattice ' "$tracedir/verify.stats"
 # ...and never hit an inconclusive bound: a fallback counter in the
@@ -75,6 +77,20 @@ if grep -q 'engine\.lattice\.fallback' "$tracedir/verify.stats"; then
 	grep 'engine\.lattice\.fallback' "$tracedir/verify.stats" >&2
 	exit 1
 fi
+echo "==> incremental store smoke: warm repeat hits, identical verdicts and SARIF"
+cachedir="$tracedir/cache"
+go run ./cmd/gemverify -engine lattice -j 2 -cache rw -cache-dir "$cachedir" \
+	-sarif "$tracedir/cold.sarif" -stats >"$tracedir/cold.out" 2>"$tracedir/cold.stats"
+go run ./cmd/gemverify -engine lattice -j 2 -cache rw -cache-dir "$cachedir" \
+	-sarif "$tracedir/warm.sarif" -stats >"$tracedir/warm.out" 2>"$tracedir/warm.stats"
+# The warm run must actually be served from the store...
+grep -Eq 'store\.hit +[1-9]' "$tracedir/warm.stats"
+# ...reporting verdicts identical modulo the per-run TIME column...
+awk '{$4=""; print}' "$tracedir/cold.out" >"$tracedir/cold.verdicts"
+awk '{$4=""; print}' "$tracedir/warm.out" >"$tracedir/warm.verdicts"
+diff "$tracedir/cold.verdicts" "$tracedir/warm.verdicts"
+# ...and a byte-identical SARIF log.
+cmp "$tracedir/cold.sarif" "$tracedir/warm.sarif"
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> bench smoke (-short, one iteration per benchmark)"
