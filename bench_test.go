@@ -16,6 +16,7 @@ import (
 	"gem/internal/check"
 	"gem/internal/core"
 	"gem/internal/csp"
+	"gem/internal/gofront"
 	"gem/internal/history"
 	"gem/internal/legal"
 	"gem/internal/logic"
@@ -26,6 +27,7 @@ import (
 	"gem/internal/problems/life"
 	"gem/internal/problems/oneslot"
 	"gem/internal/problems/rw"
+	"gem/internal/race"
 	"gem/internal/store"
 	"gem/internal/thread"
 	"gem/internal/verify"
@@ -666,6 +668,41 @@ func BenchmarkE14WarmStore(b *testing.B) {
 			b.Fatal("warm arm never hit the store")
 		}
 	})
+}
+
+// BenchmarkE15RaceCorpus measures the static data-race pipeline end to
+// end: gofront extraction (access and lockset recording included) plus
+// the race pass's MHP × lockset analysis, over the whole race fixture
+// corpus — the gemgo work a cold run over those packages performs,
+// minus only the output formatting. Loading/type-checking happens once
+// outside the timer so the number isolates extraction + analysis.
+func BenchmarkE15RaceCorpus(b *testing.B) {
+	dirs, err := gofront.ExpandPatterns([]string{filepath.Join("internal", "race", "testdata", "src") + "/..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(dirs) < 8 {
+		b.Fatalf("race corpus has %d packages, want 8+", len(dirs))
+	}
+	pkgs := make([]*gofront.Package, len(dirs))
+	for i, dir := range dirs {
+		if pkgs[i], err = gofront.LoadDir(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs := 0
+		for _, pkg := range pkgs {
+			res := gofront.Analyze(pkg)
+			for _, m := range res.Models {
+				pairs += len(race.Pairs(m))
+			}
+		}
+		if pairs < 4 {
+			b.Fatalf("race corpus yielded %d racy pairs, want one per defect fixture (4+)", pairs)
+		}
+	}
 }
 
 // BenchmarkAblationClosureVsDFS compares the two temporal-order

@@ -1,12 +1,15 @@
 // Command gemgo statically extracts GEM models from real Go packages and
-// reports the Go-specific concurrency diagnostics GEM013–GEM016: channel
+// reports the Go-specific concurrency diagnostics GEM013–GEM020: channel
 // operations with no possible partner, lock-ordering inversions,
-// goroutines that can block forever, and double locks of non-reentrant
-// mutexes. The extraction turns each root function into a GEM model —
-// goroutines are elements, synchronization operations are events,
-// control flow and channel/lock pairing are the enable edges — so the
-// same verification machinery gemlint and gemverify use runs on real
-// code unchanged.
+// goroutines that can block forever, double locks of non-reentrant
+// mutexes, and — from the race pass over the extracted partial order —
+// data races on shared variables, closes racing sends, and WaitGroup
+// Adds racing Waits. The extraction turns each root function into a GEM
+// model — goroutines are elements, synchronization and shared-variable
+// operations are events, control flow and channel/lock pairing are the
+// enable edges — so the same verification machinery gemlint and
+// gemverify use runs on real code unchanged, and may-happen-in-parallel
+// is just event incomparability.
 //
 // Usage:
 //
@@ -17,7 +20,7 @@
 // walk the tree (skipping testdata and vendor, like the go tool).
 // -dump-spec prints each extracted model — elements, restrictions, the
 // computation — instead of running the diagnostics. -codes prints the
-// shared GEM001–GEM016 code registry and exits.
+// shared GEM001–GEM020 code registry and exits.
 //
 // Exit status: 0 when every package is clean, 1 when warnings were
 // reported but no errors, 2 on errors — including packages that fail to
@@ -37,6 +40,7 @@ import (
 	"gem/internal/gofront"
 	"gem/internal/lint"
 	"gem/internal/obs"
+	"gem/internal/race"
 )
 
 func main() {
@@ -132,6 +136,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 					results[i] = pkgResult{errMsg: fmt.Sprintf("%s: %v", dirs[i], err)}
 					continue
 				}
+				// The race pass runs per model, after extraction; its
+				// findings merge into the package's diagnostic stream.
+				for _, m := range res.Models {
+					res.Diags = append(res.Diags, race.Check(m)...)
+				}
+				lint.SortFileDiagnostics(res.Diags)
 				results[i] = pkgResult{res: res}
 			}
 		}()

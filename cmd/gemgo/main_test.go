@@ -7,12 +7,15 @@ import (
 	"testing"
 )
 
-const fixtures = "../../internal/gofront/testdata/src"
+const (
+	fixtures     = "../../internal/gofront/testdata/src"
+	raceFixtures = "../../internal/race/testdata/src"
+)
 
-// TestRunCorpus runs gemgo over every fixture package: defective
-// fixtures must report exactly the code they are named for (with the
-// exit status its severity implies), clean lookalikes must report
-// nothing.
+// TestRunCorpus runs gemgo over every fixture package — the gofront
+// corpus and the race corpus: defective fixtures must report exactly
+// the code they are named for (with the exit status its severity
+// implies), clean lookalikes must report nothing.
 func TestRunCorpus(t *testing.T) {
 	dirs, err := filepath.Glob(filepath.Join(fixtures, "*"))
 	if err != nil {
@@ -21,6 +24,14 @@ func TestRunCorpus(t *testing.T) {
 	if len(dirs) < 10 {
 		t.Fatalf("expected at least 10 fixture packages, found %d", len(dirs))
 	}
+	raceDirs, err := filepath.Glob(filepath.Join(raceFixtures, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raceDirs) < 8 {
+		t.Fatalf("expected at least 8 race fixture packages, found %d", len(raceDirs))
+	}
+	dirs = append(dirs, raceDirs...)
 	for _, dir := range dirs {
 		name := filepath.Base(dir)
 		t.Run(name, func(t *testing.T) {
@@ -45,23 +56,25 @@ func TestRunCorpus(t *testing.T) {
 	}
 }
 
-// TestRunParallelDeterministic: the -j fan-out over the whole corpus
-// must produce byte-identical, file-ordered output regardless of the
-// worker count.
+// TestRunParallelDeterministic: the -j fan-out over both corpora must
+// produce byte-identical, file-ordered output regardless of the worker
+// count — the race pass included.
 func TestRunParallelDeterministic(t *testing.T) {
-	pattern := fixtures + "/..."
+	patterns := []string{fixtures + "/...", raceFixtures + "/..."}
 	var first string
 	for i, j := range []string{"1", "8"} {
 		var out, errb strings.Builder
-		run([]string{"-j", j, pattern}, &out, &errb)
+		run(append([]string{"-j", j}, patterns...), &out, &errb)
 		if i == 0 {
 			first = out.String()
 		} else if out.String() != first {
 			t.Errorf("-j %s output differs:\n--- j=1 ---\n%s--- j=%s ---\n%s", j, first, j, out.String())
 		}
 	}
-	if !strings.Contains(first, "GEM013") || !strings.Contains(first, "GEM016") {
-		t.Fatalf("corpus output missing expected codes:\n%s", first)
+	for _, want := range []string{"GEM013", "GEM016", "GEM018", "GEM019", "GEM020"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("corpus output missing %s:\n%s", want, first)
+		}
 	}
 }
 
@@ -69,7 +82,7 @@ func TestRunParallelDeterministic(t *testing.T) {
 // the gemgo driver name and a rule entry for every reported code.
 func TestRunSARIF(t *testing.T) {
 	var out, errb strings.Builder
-	run([]string{"-format=sarif", fixtures + "/..."}, &out, &errb)
+	run([]string{"-format=sarif", fixtures + "/...", raceFixtures + "/..."}, &out, &errb)
 	var log struct {
 		Version string `json:"version"`
 		Runs    []struct {
@@ -108,6 +121,10 @@ func TestRunSARIF(t *testing.T) {
 			t.Errorf("result rule %s missing from rules block", res.RuleID)
 		}
 	}
+	// The race corpus must contribute its own rule.
+	if !rules["GEM018"] {
+		t.Error("race corpus produced no GEM018 rule in the SARIF rules block")
+	}
 }
 
 // TestRunJSONClean: a clean package yields an empty JSON array and exit 0.
@@ -128,7 +145,10 @@ func TestRunCodes(t *testing.T) {
 	if code := run([]string{"-codes"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, want := range []string{"GEM001", "GEM013", "GEM014", "GEM015", "GEM016"} {
+	for _, want := range []string{
+		"GEM001", "GEM013", "GEM014", "GEM015", "GEM016",
+		"GEM017", "GEM018", "GEM019", "GEM020",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-codes output missing %s", want)
 		}

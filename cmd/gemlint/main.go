@@ -9,7 +9,7 @@
 //	gemlint [-deep] [-format=text|json|sarif] FILE.gem...
 //	gemlint -codes
 //
-// -codes prints the shared GEM001–GEM016 code registry (one line per
+// -codes prints the shared GEM001–GEM020 code registry (one line per
 // code: code, default severity, summary) and exits. Text output is one
 // finding per line:
 //

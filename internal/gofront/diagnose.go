@@ -285,7 +285,10 @@ func (m *Model) checkLockOrder() {
 			continue
 		}
 		switch op.Kind {
-		case OpLock:
+		case OpLock, OpRLock:
+			// Reader acquisitions participate in the ordering graph too: an
+			// RLock blocks behind a pending writer, so acquiring one while
+			// holding another lock still closes inversion cycles.
 			for _, h := range held[op.G] {
 				a, b := idx[h], idx[op.Key]
 				if a == b {
@@ -301,7 +304,7 @@ func (m *Model) checkLockOrder() {
 				}
 			}
 			held[op.G] = append(held[op.G], op.Key)
-		case OpUnlock:
+		case OpUnlock, OpRUnlock:
 			hs := held[op.G]
 			for j := len(hs) - 1; j >= 0; j-- {
 				if hs[j] == op.Key {

@@ -38,6 +38,8 @@ const (
 	OpAdd
 	OpDone
 	OpWait
+	OpRead
+	OpWrite
 )
 
 func (k OpKind) String() string {
@@ -64,6 +66,10 @@ func (k OpKind) String() string {
 		return "done"
 	case OpWait:
 		return "wait"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
 	default:
 		return "unknown"
 	}
@@ -98,6 +104,11 @@ type Op struct {
 	InLoop bool
 	// Child is the spawned goroutine index for OpSpawn, -1 otherwise.
 	Child int
+	// Locks, for OpRead/OpWrite, indexes the lock acquisitions (OpLock or
+	// OpRLock operations) the accessing goroutine holds at the access —
+	// its lockset. Deferred unlocks release at function end, so an access
+	// between `mu.Lock(); defer mu.Unlock()` and the return is covered.
+	Locks []int
 }
 
 // Goroutine is one extracted goroutine.
@@ -132,6 +143,10 @@ type extractor struct {
 	depth    int
 	loop     int
 	gcount   int
+	// held tracks, per goroutine, the stack of lock-acquisition operation
+	// indices currently held — the lockset snapshotted onto each
+	// read/write access.
+	held map[int][]int
 }
 
 type frame struct {
@@ -195,10 +210,12 @@ func extractFunc(pkg *Package, funcs map[types.Object]*ast.FuncDecl, fd *ast.Fun
 		},
 		alias:    make(map[types.Object]objKey),
 		inlining: make(map[*ast.FuncDecl]bool),
+		held:     make(map[int][]int),
 	}
 	x.raw.gors = append(x.raw.gors, Goroutine{Name: fd.Name.Name, SpawnOp: -1})
 	x.inlining[fd] = true
 	x.walkBody(fd.Body, 0)
+	x.raw.filterAccesses()
 	return x.raw
 }
 
@@ -207,8 +224,32 @@ func (x *extractor) emit(op Op) int {
 	if op.Kind != OpSpawn {
 		op.Child = -1
 	}
+	idx := len(x.raw.ops)
+	switch op.Kind {
+	case OpLock, OpRLock:
+		if op.Key.known() {
+			x.held[op.G] = append(x.held[op.G], idx)
+		}
+	case OpUnlock, OpRUnlock:
+		// Release the most recent same-mode acquisition of the same
+		// object: Unlock pairs with Lock, RUnlock with RLock.
+		want := OpLock
+		if op.Kind == OpRUnlock {
+			want = OpRLock
+		}
+		hs := x.held[op.G]
+		for j := len(hs) - 1; j >= 0; j-- {
+			a := x.raw.ops[hs[j]]
+			if a.Kind == want && a.Key == op.Key {
+				x.held[op.G] = append(hs[:j:j], hs[j+1:]...)
+				break
+			}
+		}
+	case OpRead, OpWrite:
+		op.Locks = append([]int(nil), x.held[op.G]...)
+	}
 	x.raw.ops = append(x.raw.ops, op)
-	return len(x.raw.ops) - 1
+	return idx
 }
 
 func (x *extractor) pos(p token.Pos) token.Position { return x.pkg.Fset.Position(p) }
@@ -244,6 +285,13 @@ func (x *extractor) stmt(s ast.Stmt, fr *frame) {
 		for _, r := range s.Rhs {
 			x.expr(r, fr)
 		}
+		for _, l := range s.Lhs {
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				// Compound assignment (+=, |=, …) reads before writing.
+				x.access(l, OpRead, fr)
+			}
+			x.writeAccess(l, fr)
+		}
 		x.trackAssign(s.Lhs, s.Rhs)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
@@ -255,6 +303,11 @@ func (x *extractor) stmt(s ast.Stmt, fr *frame) {
 					lhs := make([]ast.Expr, len(vs.Names))
 					for i, n := range vs.Names {
 						lhs[i] = n
+					}
+					if len(vs.Values) > 0 {
+						for _, l := range lhs {
+							x.writeAccess(l, fr)
+						}
 					}
 					x.trackAssign(lhs, vs.Values)
 				}
@@ -330,8 +383,20 @@ func (x *extractor) stmt(s ast.Stmt, fr *frame) {
 	case *ast.LabeledStmt:
 		x.stmt(s.Stmt, fr)
 	case *ast.IncDecStmt:
+		// x++ reads then writes x.
 		x.expr(s.X, fr)
+		x.writeAccess(s.X, fr)
 	}
+}
+
+// writeAccess records the write an assignment target performs, also
+// scanning index subexpressions for the reads they contain (`m[k] = v`
+// writes m and reads k).
+func (x *extractor) writeAccess(l ast.Expr, fr *frame) {
+	if ix, ok := l.(*ast.IndexExpr); ok {
+		x.expr(ix.Index, fr)
+	}
+	x.access(l, OpWrite, fr)
 }
 
 // trackAssign registers channel capacities (`ch := make(chan T, n)`) and
@@ -481,7 +546,7 @@ func (x *extractor) bindParams(params *ast.FieldList, args []ast.Expr) func() {
 				break
 			}
 			obj := x.pkg.info.Defs[name]
-			if obj != nil {
+			if obj != nil && x.aliasableArg(args[i]) {
 				key := x.keyOf(args[i])
 				if key.known() {
 					old, had := x.alias[obj]
@@ -504,6 +569,25 @@ func (x *extractor) bindParams(params *ast.FieldList, args []ast.Expr) func() {
 	}
 }
 
+// aliasableArg reports whether passing an argument shares the caller's
+// object with the callee: channels, sync objects, and pointers do; a
+// plain value parameter is a copy, so aliasing it would fabricate
+// accesses to the caller's variable.
+func (x *extractor) aliasableArg(e ast.Expr) bool {
+	if _, isSync := x.syncType(e); isSync {
+		return true
+	}
+	tv, ok := x.pkg.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Chan, *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
 // expr scans an expression for operations: channel receives, close
 // calls, sync method calls, and calls to package functions (inlined).
 // Function literals are not entered — they only run when invoked via
@@ -516,6 +600,14 @@ func (x *extractor) expr(e ast.Expr, fr *frame) {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.Ident:
+			x.access(n, OpRead, fr)
+		case *ast.SelectorExpr:
+			if x.access(n, OpRead, fr) {
+				// The whole selector path is one access; don't also
+				// record its base.
+				return false
+			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
 				x.emit(Op{Kind: OpRecv, G: fr.g, Key: x.keyOf(n.X), Pos: x.pos(n.OpPos)})
@@ -668,6 +760,108 @@ func (x *extractor) keyOf(e ast.Expr) objKey {
 		}
 	}
 	return objKey{path: fmt.Sprintf("anon@%v", x.pos(e.Pos()))}
+}
+
+// access records a shared-variable access candidate: a read or write of
+// a plain variable (or a field path rooted at one), excluding
+// synchronization objects, channels, and functions — those are modeled
+// by their own operations. Reports whether the expression was consumed.
+// The lockset snapshot happens in emit; whether the variable is actually
+// shared is decided by filterAccesses once the whole walk is done.
+func (x *extractor) access(e ast.Expr, kind OpKind, fr *frame) bool {
+	key := x.accessKeyOf(e)
+	if !key.known() {
+		return false
+	}
+	v, ok := key.obj.(*types.Var)
+	if !ok || v.IsField() || v.Name() == "_" {
+		return false
+	}
+	if x.skipAccessType(e) {
+		return false
+	}
+	x.emit(Op{Kind: kind, G: fr.g, Key: key, Pos: x.pos(e.Pos()), Add: -1})
+	return true
+}
+
+// accessKeyOf resolves the identity of an accessed variable: element
+// accesses (`m[k]`, `xs[i]`) collapse to their base object, then keyOf's
+// selector-path resolution applies.
+func (x *extractor) accessKeyOf(e ast.Expr) objKey {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		return x.accessKeyOf(e.X)
+	case *ast.ParenExpr:
+		return x.accessKeyOf(e.X)
+	}
+	return x.keyOf(e)
+}
+
+// skipAccessType reports whether an expression's type puts it outside
+// the data-access model: channels and sync objects have their own
+// operation kinds, and function/method values are not data.
+func (x *extractor) skipAccessType(e ast.Expr) bool {
+	tv, ok := x.pkg.info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	if _, isSync := x.syncType(e); isSync {
+		return true
+	}
+	return false
+}
+
+// isPackageLevel reports whether an object is a package-level variable.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// filterAccesses drops read/write operations on variables that are not
+// shared: only package-level variables and locals touched by more than
+// one goroutine (captured across a go boundary) stay in the model.
+// Everything the walk recorded on purely goroutine-local state is
+// removed, and the operation indices the model refers to (spawn ops,
+// locksets) are remapped.
+func (raw *rawModel) filterAccesses() {
+	firstG := make(map[objKey]int)
+	shared := make(map[objKey]bool)
+	for _, op := range raw.ops {
+		if op.Kind != OpRead && op.Kind != OpWrite {
+			continue
+		}
+		if g, ok := firstG[op.Key]; !ok {
+			firstG[op.Key] = op.G
+		} else if g != op.G {
+			shared[op.Key] = true
+		}
+	}
+	remap := make([]int, len(raw.ops))
+	kept := raw.ops[:0]
+	for i, op := range raw.ops {
+		if (op.Kind == OpRead || op.Kind == OpWrite) &&
+			!shared[op.Key] && !isPackageLevel(op.Key.obj) {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		kept = append(kept, op)
+	}
+	raw.ops = kept
+	for i := range raw.ops {
+		ls := raw.ops[i].Locks
+		for j, l := range ls {
+			ls[j] = remap[l] // lock ops are never dropped
+		}
+	}
+	for i := range raw.gors {
+		if s := raw.gors[i].SpawnOp; s >= 0 {
+			raw.gors[i].SpawnOp = remap[s] // spawns are never dropped
+		}
+	}
 }
 
 // displayName renders a key for messages and class names.

@@ -6,27 +6,40 @@ import (
 	"testing"
 
 	"gem/internal/gofront"
+	"gem/internal/race"
 )
 
 // FuzzExtract feeds arbitrary source through the whole front end —
-// parse, type-check, extract, compile, diagnose. The invariant is
-// "never panic": malformed or half-typed input must degrade to fewer
-// events (and a parse error), never to a crash. Seeded with every
-// fixture so the mutator starts from realistic concurrent Go.
+// parse, type-check, extract, compile, diagnose, race-check. The
+// invariant is "never panic": malformed or half-typed input must
+// degrade to fewer events (and a parse error), never to a crash; and
+// whatever the race pass reports must be unordered in the extracted
+// partial order. Seeded with every fixture (this package's and the race
+// corpus) so the mutator starts from realistic concurrent Go with
+// shared-variable accesses and lockset-bearing regions.
 func FuzzExtract(f *testing.F) {
-	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
-	if err != nil {
-		f.Fatal(err)
-	}
-	for _, dir := range dirs {
-		src, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	for _, glob := range []string{
+		filepath.Join("testdata", "src", "*"),
+		filepath.Join("..", "race", "testdata", "src", "*"),
+	} {
+		dirs, err := filepath.Glob(glob)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(string(src))
+		for _, dir := range dirs {
+			src, err := os.ReadFile(filepath.Join(dir, "main.go"))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
 	}
 	f.Add("package p\nfunc f(ch chan int) { go func() { <-ch }(); close(ch) }\n")
 	f.Add("package p\nimport \"sync\"\nvar mu sync.Mutex\nfunc f() { mu.Lock(); defer mu.Unlock() }\n")
+	f.Add("package p\nimport \"sync\"\nvar mu sync.Mutex\nvar n int\n" +
+		"func f() { go func() { mu.Lock(); n++; mu.Unlock() }(); mu.Lock(); _ = n; mu.Unlock() }\n")
+	f.Add("package p\nimport \"sync\"\nvar rw sync.RWMutex\nvar m map[int]int\n" +
+		"func g() { go func() { rw.RLock(); _ = m[1]; rw.RUnlock() }(); rw.Lock(); m = nil; rw.Unlock() }\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		res, err := gofront.AnalyzeSource("fuzz.go", src)
@@ -40,6 +53,15 @@ func FuzzExtract(f *testing.F) {
 			}
 			if m.Comp.NumEvents() != len(m.Ops) {
 				t.Fatalf("model %s: %d events for %d ops", m.Name, m.Comp.NumEvents(), len(m.Ops))
+			}
+			// The race pass must not panic, and must never report a pair
+			// the extracted partial order already orders.
+			for _, p := range race.Pairs(m) {
+				a, b := m.EventOf[p.A], m.EventOf[p.B]
+				if m.Comp.Temporal(a, b) || m.Comp.Temporal(b, a) {
+					t.Fatalf("model %s: race pair %s (%d,%d) is ordered in the extracted model",
+						m.Name, p.Code, p.A, p.B)
+				}
 			}
 		}
 	})

@@ -1,17 +1,24 @@
 // Package gofront is the Go front end: a static-analysis pass that
 // extracts GEM models from real Go source. It recognizes goroutine
 // spawns, channel make/send/receive/close, sync.Mutex and sync.RWMutex
-// lock–unlock pairs, and sync.WaitGroup Add/Done/Wait, and compiles them
-// into GEM computations — each goroutine an element, each
-// synchronization operation an event, control flow and channel/lock
-// pairing the enable edges — so the legality checker, the deep analyzer,
-// and the lattice engine run on real code unchanged. On top of the
-// extracted wait-for structure it reports four Go-specific diagnostics:
+// lock–unlock pairs (reader and writer modes), sync.WaitGroup
+// Add/Done/Wait, and shared-variable reads and writes (package-level
+// variables and locals crossing a go boundary, each carrying the
+// lockset held at the access), and compiles them into GEM computations
+// — each goroutine an element, each operation an event, control flow
+// and channel/lock pairing the enable edges — so the legality checker,
+// the deep analyzer, and the lattice engine run on real code unchanged.
+// On top of the extracted wait-for structure it reports four
+// Go-specific diagnostics:
 //
 //	GEM013  channel operation with no possible partner
 //	GEM014  lock-ordering inversion between mutexes
 //	GEM015  goroutine that can block forever (circular or unsatisfiable wait)
 //	GEM016  double lock of a non-reentrant mutex
+//
+// The companion race pass (internal/race) consumes the same models and
+// adds GEM018–GEM020 from the may-happen-in-parallel relation of the
+// extracted partial order.
 //
 // The analysis is intentionally flow-naive — every statement is assumed
 // to execute once, in source order — which makes it fast, deterministic,

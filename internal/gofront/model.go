@@ -78,14 +78,18 @@ type doubleLock struct {
 	releasedBy int // the unlock matching heldSince, -1 if it has none
 }
 
-// mutexInfo aggregates one mutex's write-lock structure.
+// mutexInfo aggregates one mutex's lock structure: write pairs
+// (Lock/Unlock) and, for sync.RWMutex, reader pairs (RLock/RUnlock).
 type mutexInfo struct {
-	key              objKey
-	pairs            []lockPair
-	unmatchedLocks   []int
-	unmatchedUnlocks []int
-	doubles          []doubleLock
-	edgesOK          bool
+	key               objKey
+	pairs             []lockPair
+	rpairs            []lockPair
+	unmatchedLocks    []int
+	unmatchedUnlocks  []int
+	unmatchedRLocks   []int
+	unmatchedRUnlocks []int
+	doubles           []doubleLock
+	edgesOK           bool
 }
 
 // wgInfo aggregates one WaitGroup's operations.
@@ -249,9 +253,12 @@ func (m *Model) collectChans(raw *rawModel) {
 	}
 }
 
-// collectMutexes matches Lock/Unlock per mutex per goroutine with a
-// stack (LIFO, the way nested critical sections release), recording
-// double-locks: a Lock while the goroutine already holds the mutex.
+// collectMutexes matches Lock/Unlock and RLock/RUnlock per mutex per
+// goroutine with a mode-aware stack (LIFO, the way nested critical
+// sections release), recording double-locks. Reader acquisitions are
+// shared: an RLock while the goroutine only holds reader locks is fine;
+// a Lock while holding anything, or an RLock while holding the write
+// lock, self-deadlocks.
 func (m *Model) collectMutexes() {
 	byKey := make(map[objKey]*mutexInfo)
 	type stackKey struct {
@@ -263,8 +270,20 @@ func (m *Model) collectMutexes() {
 		mi        *mutexInfo
 		lock, top int
 	}
+	// lastOfKind returns the most recent stack entry of the given
+	// acquisition kind, or -1.
+	lastOfKind := func(stack []int, kind OpKind) int {
+		for j := len(stack) - 1; j >= 0; j-- {
+			if m.Ops[stack[j]].Kind == kind {
+				return j
+			}
+		}
+		return -1
+	}
 	for i, op := range m.Ops {
-		if op.Kind != OpLock && op.Kind != OpUnlock {
+		switch op.Kind {
+		case OpLock, OpUnlock, OpRLock, OpRUnlock:
+		default:
 			continue
 		}
 		if !op.Key.known() {
@@ -278,7 +297,8 @@ func (m *Model) collectMutexes() {
 		}
 		sk := stackKey{key: op.Key, g: op.G}
 		stack := stacks[sk]
-		if op.Kind == OpLock {
+		switch op.Kind {
+		case OpLock:
 			if len(stack) > 0 {
 				pending = append(pending, struct {
 					mi        *mutexInfo
@@ -286,21 +306,45 @@ func (m *Model) collectMutexes() {
 				}{mi, i, stack[len(stack)-1]})
 			}
 			stacks[sk] = append(stack, i)
-			continue
+		case OpRLock:
+			if w := lastOfKind(stack, OpLock); w >= 0 {
+				pending = append(pending, struct {
+					mi        *mutexInfo
+					lock, top int
+				}{mi, i, stack[w]})
+			}
+			stacks[sk] = append(stack, i)
+		case OpUnlock:
+			j := lastOfKind(stack, OpLock)
+			if j < 0 {
+				mi.unmatchedUnlocks = append(mi.unmatchedUnlocks, i)
+				continue
+			}
+			mi.pairs = append(mi.pairs, lockPair{lock: stack[j], unlock: i})
+			stacks[sk] = append(stack[:j:j], stack[j+1:]...)
+		case OpRUnlock:
+			j := lastOfKind(stack, OpRLock)
+			if j < 0 {
+				mi.unmatchedRUnlocks = append(mi.unmatchedRUnlocks, i)
+				continue
+			}
+			mi.rpairs = append(mi.rpairs, lockPair{lock: stack[j], unlock: i})
+			stacks[sk] = append(stack[:j:j], stack[j+1:]...)
 		}
-		if len(stack) == 0 {
-			mi.unmatchedUnlocks = append(mi.unmatchedUnlocks, i)
-			continue
-		}
-		mi.pairs = append(mi.pairs, lockPair{lock: stack[len(stack)-1], unlock: i})
-		stacks[sk] = stack[:len(stack)-1]
 	}
 	for sk, stack := range stacks {
 		mi := byKey[sk.key]
-		mi.unmatchedLocks = append(mi.unmatchedLocks, stack...)
+		for _, l := range stack {
+			if m.Ops[l].Kind == OpRLock {
+				mi.unmatchedRLocks = append(mi.unmatchedRLocks, l)
+			} else {
+				mi.unmatchedLocks = append(mi.unmatchedLocks, l)
+			}
+		}
 	}
 	for _, mi := range m.mutexes {
 		sortInts(mi.unmatchedLocks)
+		sortInts(mi.unmatchedRLocks)
 	}
 	for _, p := range pending {
 		released := -1
@@ -308,6 +352,14 @@ func (m *Model) collectMutexes() {
 			if pr.lock == p.top {
 				released = pr.unlock
 				break
+			}
+		}
+		if released < 0 {
+			for _, pr := range p.mi.rpairs {
+				if pr.lock == p.top {
+					released = pr.unlock
+					break
+				}
 			}
 		}
 		p.mi.doubles = append(p.mi.doubles, doubleLock{
@@ -455,10 +507,13 @@ func (m *Model) addEnables(b *core.Builder) {
 			ci.edgesOK = add(p[0], p[1]) && ci.edgesOK
 		}
 	}
-	// Lock regions.
+	// Lock regions (writer and reader).
 	for _, mi := range m.mutexes {
 		mi.edgesOK = true
 		for _, p := range mi.pairs {
+			mi.edgesOK = add(p.lock, p.unlock) && mi.edgesOK
+		}
+		for _, p := range mi.rpairs {
 			mi.edgesOK = add(p.lock, p.unlock) && mi.edgesOK
 		}
 	}
@@ -533,19 +588,30 @@ func (m *Model) addRestrictions() {
 		}
 	}
 	for _, mi := range m.mutexes {
-		if len(mi.pairs) == 0 || len(mi.unmatchedLocks) > 0 ||
-			len(mi.unmatchedUnlocks) > 0 || !mi.edgesOK {
-			continue
-		}
 		n := m.names[mi.key]
-		// Every unlock is enabled by exactly one lock (its own acquire).
-		m.Spec.AddRestriction("mutex_"+n, logic.ForAll{
-			Var: "u", Ref: core.Ref("", "unlock_"+n),
-			Body: logic.ExistsUnique{
-				Var: "l", Ref: core.Ref("", "lock_"+n),
-				Body: logic.Enables{X: "l", Y: "u"},
-			},
-		})
+		if len(mi.pairs) > 0 && len(mi.unmatchedLocks) == 0 &&
+			len(mi.unmatchedUnlocks) == 0 && mi.edgesOK {
+			// Every unlock is enabled by exactly one lock (its own acquire).
+			m.Spec.AddRestriction("mutex_"+n, logic.ForAll{
+				Var: "u", Ref: core.Ref("", "unlock_"+n),
+				Body: logic.ExistsUnique{
+					Var: "l", Ref: core.Ref("", "lock_"+n),
+					Body: logic.Enables{X: "l", Y: "u"},
+				},
+			})
+		}
+		if len(mi.rpairs) > 0 && len(mi.unmatchedRLocks) == 0 &&
+			len(mi.unmatchedRUnlocks) == 0 && mi.edgesOK {
+			// Reader regions pair the same way: every RUnlock is enabled
+			// by exactly one RLock.
+			m.Spec.AddRestriction("rmutex_"+n, logic.ForAll{
+				Var: "u", Ref: core.Ref("", "runlock_"+n),
+				Body: logic.ExistsUnique{
+					Var: "l", Ref: core.Ref("", "rlock_"+n),
+					Body: logic.Enables{X: "l", Y: "u"},
+				},
+			})
+		}
 	}
 	for _, wi := range m.wgs {
 		if len(wi.dones) == 0 || len(wi.waits) == 0 || !wi.edgesOK {
@@ -562,3 +628,29 @@ func (m *Model) addRestrictions() {
 		})
 	}
 }
+
+// The exported object-identity surface: downstream passes (internal/race)
+// group operations by the object they act on without reaching into the
+// unexported objKey representation.
+
+// SameObj reports whether operations i and j act on the same resolved
+// object (same root types.Object and selector path).
+func (m *Model) SameObj(i, j int) bool {
+	return m.Ops[i].Key.known() && m.Ops[i].Key == m.Ops[j].Key
+}
+
+// ObjIDOf returns a stable per-model identifier for the object an
+// operation acts on (the collision-free class-name suffix assignNames
+// picked), and whether the object was resolved at all.
+func (m *Model) ObjIDOf(op int) (string, bool) {
+	key := m.Ops[op].Key
+	if !key.known() {
+		return "", false
+	}
+	id, ok := m.names[key]
+	return id, ok
+}
+
+// ObjNameOf renders the object an operation acts on for messages
+// ("counter", "s.mu").
+func (m *Model) ObjNameOf(op int) string { return m.objName(m.Ops[op].Key) }

@@ -1,0 +1,15 @@
+// Reader locks are shared: one goroutine may hold two overlapping
+// RLock regions on the same RWMutex without self-deadlock, so this must
+// not be flagged as a double lock (GEM016).
+package main
+
+import "sync"
+
+var mu sync.RWMutex
+
+func main() {
+	mu.RLock()
+	mu.RLock()
+	mu.RUnlock()
+	mu.RUnlock()
+}

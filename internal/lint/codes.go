@@ -41,6 +41,24 @@ const (
 	CodeSatRefuted Code = "GEM017"
 )
 
+// The data-race codes — produced by the static race pass
+// (internal/race) over gofront-extracted models: two operations that
+// may happen in parallel (incomparable in the extracted partial order)
+// and conflict on the same object.
+const (
+	// CodeDataRace: a write to a shared variable may happen in parallel
+	// with another access to it, and no common lock (with at least one
+	// side holding the write lock) separates them.
+	CodeDataRace Code = "GEM018"
+	// CodeCloseRace: a channel close may happen in parallel with a send
+	// on the same channel — the send panics if the close wins the race.
+	CodeCloseRace Code = "GEM019"
+	// CodeAddWaitRace: a WaitGroup.Add may happen in parallel with a
+	// Wait on the same WaitGroup — Wait can return before the work the
+	// Add accounts for has been registered.
+	CodeAddWaitRace Code = "GEM020"
+)
+
 // CodeInfo is one row of the shared code registry: a stable code, its
 // one-line summary (also the SARIF rule description), and the severity
 // its producer assigns.
@@ -72,6 +90,9 @@ var registry = []CodeInfo{
 	{CodeBlockForever, "goroutine that can block forever (static partial deadlock)", SeverityWarning},
 	{CodeDoubleLock, "second acquisition of a non-reentrant mutex already held", SeverityError},
 	{CodeSatRefuted, "solution computation refuted by its problem specification", SeverityError},
+	{CodeDataRace, "conflicting shared-variable accesses with no ordering and no common lock", SeverityError},
+	{CodeCloseRace, "channel close concurrent with a send on the same channel", SeverityError},
+	{CodeAddWaitRace, "WaitGroup.Add concurrent with Wait on the same WaitGroup", SeverityWarning},
 }
 
 // Registry returns the shared code table, ordered by code. The returned

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gem/internal/lint"
+)
+
+// TestRegistryCompleteAndSorted pins the shared code registry: one row
+// per code, contiguous from GEM001 with no gaps (a skipped number means
+// a tool invented a code without registering it), sorted by code, and
+// every row carrying a non-empty summary. -codes on both gemlint and
+// gemgo print this table, so a hole here is a hole in their output.
+func TestRegistryCompleteAndSorted(t *testing.T) {
+	reg := lint.Registry()
+	if len(reg) == 0 {
+		t.Fatal("empty registry")
+	}
+	for i, ci := range reg {
+		want := lint.Code(fmt.Sprintf("GEM%03d", i+1))
+		if ci.Code != want {
+			t.Errorf("registry[%d] = %s, want %s (registry must be contiguous and sorted)", i, ci.Code, want)
+		}
+		if ci.Summary == "" {
+			t.Errorf("registry[%d] (%s) has an empty summary", i, ci.Code)
+		}
+		if ci.Severity != lint.SeverityWarning && ci.Severity != lint.SeverityError {
+			t.Errorf("registry[%d] (%s) has severity %v", i, ci.Code, ci.Severity)
+		}
+	}
+	if last := reg[len(reg)-1].Code; last != lint.CodeAddWaitRace {
+		t.Errorf("registry ends at %s, want %s", last, lint.CodeAddWaitRace)
+	}
+}
+
+// TestPrintRegistryListsEveryCode checks the -codes rendering carries
+// every registered code, GEM017 and the race codes included.
+func TestPrintRegistryListsEveryCode(t *testing.T) {
+	var buf bytes.Buffer
+	lint.PrintRegistry(&buf)
+	out := buf.String()
+	for _, ci := range lint.Registry() {
+		if !strings.Contains(out, string(ci.Code)+"  ") {
+			t.Errorf("PrintRegistry output missing %s:\n%s", ci.Code, out)
+		}
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != len(lint.Registry()) {
+		t.Errorf("PrintRegistry printed a different number of lines than the registry has rows:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+package race_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gem/internal/gofront"
+	"gem/internal/lint"
+	"gem/internal/race"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current race-pass output")
+
+// fixtureDirs returns the race fixture package directories.
+func fixtureDirs(t *testing.T) []string {
+	t.Helper()
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 8 {
+		t.Fatalf("expected at least 8 fixture packages in testdata/src, found %d", len(dirs))
+	}
+	return dirs
+}
+
+// analyze runs the front end plus the race pass over one fixture,
+// returning the race diagnostics (sorted) and the models.
+func analyze(t *testing.T, dir string) ([]lint.FileDiagnostic, *gofront.Result) {
+	t.Helper()
+	res, err := gofront.AnalyzeDir(dir)
+	if err != nil {
+		t.Fatalf("analyze %s: %v", dir, err)
+	}
+	if len(res.Pkg.TypeErrs) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", dir, res.Pkg.TypeErrs)
+	}
+	// Race fixtures are synchronization-clean by design: the defect is in
+	// the data accesses, not the wait structure, so the gofront codes must
+	// stay silent on every one of them.
+	if len(res.Diags) > 0 {
+		t.Fatalf("fixture %s triggers gofront diagnostics (fixtures must isolate the race codes):\n%s",
+			dir, renderDiags(res.Diags))
+	}
+	var diags []lint.FileDiagnostic
+	for _, m := range res.Models {
+		diags = append(diags, race.Check(m)...)
+	}
+	lint.SortFileDiagnostics(diags)
+	return diags, res
+}
+
+func renderDiags(diags []lint.FileDiagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "%s:%s\n", d.File, d.Diagnostic)
+	}
+	return sb.String()
+}
+
+func renderDump(res *gofront.Result) string {
+	var sb strings.Builder
+	for _, m := range res.Models {
+		gofront.DumpSpec(&sb, m)
+	}
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGolden runs the race pass over every fixture and compares the
+// diagnostics and the extracted-model dump (which now carries the
+// read/write events) against golden files. Defective fixtures
+// (gemNNN_*) must surface exactly the code they are named for; clean_*
+// lookalikes must be silent. Regenerate with:
+// go test ./internal/race -run Golden -update
+func TestGolden(t *testing.T) {
+	for _, dir := range fixtureDirs(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			diags, res := analyze(t, dir)
+			got := renderDiags(diags)
+
+			if strings.HasPrefix(name, "clean_") {
+				if got != "" {
+					t.Errorf("clean fixture %s produced diagnostics:\n%s", dir, got)
+				}
+			} else {
+				wantCode := strings.ToUpper(name[:strings.Index(name, "_")])
+				codes := make(map[string]bool)
+				for _, d := range diags {
+					codes[string(d.Code)] = true
+				}
+				if !codes[wantCode] || len(codes) != 1 {
+					t.Errorf("fixture %s must surface exactly %s; diagnostics:\n%s", dir, wantCode, got)
+				}
+				// Every reported race must carry both positions and the
+				// lockset witness in its message.
+				for _, d := range diags {
+					if !strings.Contains(d.Message, "holding {") {
+						t.Errorf("diagnostic missing lockset witness: %s", d.Message)
+					}
+					if strings.Count(d.Message, " at ") < 2 {
+						t.Errorf("diagnostic missing one of the two access positions: %s", d.Message)
+					}
+				}
+			}
+
+			checkGolden(t, filepath.Join("testdata", name+".golden"), got)
+			checkGolden(t, filepath.Join("testdata", name+".dump.golden"), renderDump(res))
+		})
+	}
+}

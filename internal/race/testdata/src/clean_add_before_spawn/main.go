@@ -1,0 +1,22 @@
+// The canonical WaitGroup pattern: Add before the spawn, Done in the
+// worker, Wait in main. The Done→Wait join edge orders the worker's
+// write before main's read, and the Add is program-order-before the
+// Wait — nothing races.
+package main
+
+import "sync"
+
+var (
+	wg    sync.WaitGroup
+	total int
+)
+
+func main() {
+	wg.Add(1)
+	go func() {
+		total = 1
+		wg.Done()
+	}()
+	wg.Wait()
+	_ = total
+}

@@ -1,0 +1,17 @@
+// Publication via channel handoff: the write is ordered before the
+// send, the send enables the receive, and the receive is ordered before
+// the read — the accesses are comparable in the extracted partial
+// order, so no race.
+package main
+
+var data int
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		data = 42
+		ch <- 1
+	}()
+	<-ch
+	_ = data
+}

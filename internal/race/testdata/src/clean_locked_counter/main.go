@@ -1,0 +1,22 @@
+// Lookalike for gem018_unlocked_counter with the defect repaired: both
+// the increment and the read hold the same mutex in write mode, so the
+// accesses exclude each other even though they may interleave.
+package main
+
+import "sync"
+
+var (
+	mu      sync.Mutex
+	counter int
+)
+
+func main() {
+	go func() {
+		mu.Lock()
+		counter++
+		mu.Unlock()
+	}()
+	mu.Lock()
+	_ = counter
+	mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Lookalike for gem018_rlock_write with the defect repaired: the
+// writer holds the RWMutex in write mode, the reader in read mode — a
+// common lock with one side in write mode excludes the pair.
+package main
+
+import "sync"
+
+var (
+	mu   sync.RWMutex
+	hits int
+)
+
+func main() {
+	go func() {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	}()
+	mu.RLock()
+	_ = hits
+	mu.RUnlock()
+}

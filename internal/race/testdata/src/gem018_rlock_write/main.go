@@ -1,0 +1,22 @@
+// Reader locks don't exclude each other: both goroutines hold hits's
+// RWMutex in read mode, but one of them writes — the shared reader
+// acquisitions order nothing, so the write races the read.
+package main
+
+import "sync"
+
+var (
+	mu   sync.RWMutex
+	hits int
+)
+
+func main() {
+	go func() {
+		mu.RLock()
+		hits++
+		mu.RUnlock()
+	}()
+	mu.RLock()
+	_ = hits
+	mu.RUnlock()
+}

@@ -1,0 +1,13 @@
+// Classic unsynchronized counter: the spawned goroutine increments a
+// package-level counter while main reads it, with no lock and no
+// ordering between the two — a write/read data race.
+package main
+
+var counter int
+
+func main() {
+	go func() {
+		counter++
+	}()
+	_ = counter
+}

@@ -1,0 +1,11 @@
+// The spawned goroutine's send has no ordering with main's close: if
+// the close wins the race, the send panics on a closed channel.
+package main
+
+func main() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	close(ch)
+}

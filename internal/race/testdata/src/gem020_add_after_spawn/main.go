@@ -1,0 +1,18 @@
+// The worker registers itself with the WaitGroup after spawning its
+// subtask: nothing orders that Add before main's Wait, so Wait can
+// observe a zero counter and return while work is still being added.
+package main
+
+import "sync"
+
+var wg sync.WaitGroup
+
+func main() {
+	go func() {
+		go func() {
+			wg.Done()
+		}()
+		wg.Add(1)
+	}()
+	wg.Wait()
+}

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Benchmark sweep: runs every benchmark (E1..E10 plus the package
-# micro-benchmarks) with allocation stats and records the run as
+# Benchmark sweep: runs every benchmark (E1..E15 plus the package
+# micro-benchmarks — E15 is the gemgo extraction+race-analysis corpus
+# pass, so the static race pipeline has a perf baseline) with
+# allocation stats and records the run as
 # BENCH_<date>.json next to the raw text output. The JSON is produced by
 # cmd/benchjson and carries a host section (GOMAXPROCS/NumCPU, so
 # single-CPU hosts are identifiable) plus a delta section with new/old

@@ -33,9 +33,9 @@ go run ./cmd/gemlint -deep -stats -trace "$tracedir/lint.json" examples/specs/*.
 go run ./cmd/gemcheck -j 2 -cache off -stats -trace "$tracedir/check.json" rw >/dev/null 2>"$tracedir/check.stats"
 go run ./cmd/tracecheck -min-spans 1 "$tracedir/lint.json" "$tracedir/check.json"
 grep -q '== spans ==' "$tracedir/check.stats"
-echo "==> gemgo fixture corpus: defects report exactly their code, cleans report nothing"
+echo "==> gemgo fixture corpora: defects report exactly their code, cleans report nothing"
 go build -o "$tracedir/gemgo" ./cmd/gemgo
-for dir in internal/gofront/testdata/src/*/; do
+for dir in internal/gofront/testdata/src/*/ internal/race/testdata/src/*/; do
 	name="$(basename "$dir")"
 	out="$tracedir/gemgo.$name.out"
 	status=0
@@ -64,6 +64,17 @@ echo "==> gemgo SARIF smoke: corpus output is one valid gemgo-driver run"
 grep -q '"version": "2.1.0"' "$tracedir/gemgo.sarif"
 grep -q '"name": "gemgo"' "$tracedir/gemgo.sarif"
 grep -q '"ruleId": "GEM013"' "$tracedir/gemgo.sarif"
+echo "==> gemgo race-pass SARIF smoke over a racy fixture"
+"$tracedir/gemgo" -format=sarif internal/race/testdata/src/gem018_unlocked_counter >"$tracedir/race.sarif" || true
+grep -q '"version": "2.1.0"' "$tracedir/race.sarif"
+grep -q '"ruleId": "GEM018"' "$tracedir/race.sarif"
+echo "==> gemgo race corpus: -j1 and -j4 output byte-identical"
+"$tracedir/gemgo" -j 1 internal/race/testdata/src/... >"$tracedir/race.j1.out" || true
+"$tracedir/gemgo" -j 4 internal/race/testdata/src/... >"$tracedir/race.j4.out" || true
+cmp "$tracedir/race.j1.out" "$tracedir/race.j4.out"
+grep -q 'GEM018' "$tracedir/race.j1.out"
+grep -q 'GEM019' "$tracedir/race.j1.out"
+grep -q 'GEM020' "$tracedir/race.j1.out"
 echo "==> lattice engine gate: full matrix under forced -engine lattice, no silent seq fallback"
 # -cache off keeps this gate hermetic: a warm store would serve the
 # verdicts from disk and the engine.lattice spans below would vanish.
