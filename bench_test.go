@@ -21,6 +21,7 @@ import (
 	"gem/internal/legal"
 	"gem/internal/logic"
 	"gem/internal/monitor"
+	"gem/internal/mutate"
 	"gem/internal/order"
 	"gem/internal/problems/boundedbuf"
 	"gem/internal/problems/dbupdate"
@@ -746,6 +747,52 @@ func BenchmarkAblationClosureVsDFS(b *testing.B) {
 					_ = dag.ReachesDFS(u, v)
 				}
 			}
+		}
+	})
+}
+
+// BenchmarkE16Campaign measures mutation-campaign throughput on the
+// persistent store: a fixed-seed 300-mutant campaign (generation,
+// three-engine checking, ddmin shrinking, corpus persistence) against a
+// cold store versus a warm one where every restriction verdict — the
+// campaign's dominant cost — is served from disk. scripts/bench.sh
+// asserts the warm/cold speedup via benchjson -compare.
+func BenchmarkE16Campaign(b *testing.B) {
+	runCampaign := func(b *testing.B, st *store.Store) {
+		rep, err := mutate.Run(mutate.Config{
+			N: 300, Seed: 7, Parallelism: 1, Cache: st, Store: st,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Findings) > 0 {
+			b.Fatalf("campaign found %d engine disagreements", len(rep.Findings))
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(filepath.Join(dir, fmt.Sprint(i)), store.ReadWrite)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			runCampaign(b, st)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.ReadWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runCampaign(b, st) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runCampaign(b, st)
+		}
+		if st.Stats().Hits == 0 {
+			b.Fatal("warm arm never hit the store")
 		}
 	})
 }

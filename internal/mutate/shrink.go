@@ -1,0 +1,236 @@
+package mutate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gem/internal/core"
+	"gem/internal/legal"
+	"gem/internal/logic"
+	"gem/internal/obs"
+	"gem/internal/spec"
+	"gem/internal/thread"
+)
+
+// ddmin-style counterexample shrinking: delta-debug a failing
+// computation down to a minimal event subset that still fails the same
+// way, then re-validate the minimized witness via Counterexample.Verify.
+// The algorithm is Zeller–Hildebrandt ddmin over the event id set with
+// deterministic (contiguous, index-ordered) chunking: the reduction path
+// is a pure function of the input, so shrinking a shrunk witness is a
+// fixpoint, and ddmin's final granularity escalation guarantees
+// 1-minimality (no single event can be removed).
+
+// ShrinkResult is a minimized failing computation.
+type ShrinkResult struct {
+	Comp       *core.Computation
+	Events     int // events kept
+	OrigEvents int
+	// Kind is the violation class the shrink preserved. For
+	// RestrictionViolation, Restriction/Owner name the failing
+	// restriction and Cx is the re-derived, Verify-checked witness on
+	// the minimized computation; for structural kinds Cx is nil (the
+	// violation is its own witness).
+	Kind        legal.ViolationKind
+	Restriction string
+	Owner       string
+	Cx          *logic.Counterexample
+}
+
+// Shrink minimizes c with respect to the given violation: the result is
+// a 1-minimal event subset of c whose induced sub-computation still
+// exhibits v (same failing restriction, or same structural violation
+// kind). opts configures the predicate's restriction checks (engine,
+// cancellation, verdict cache); shrinking never mutates c.
+func Shrink(sp *spec.Spec, c *core.Computation, v legal.Violation, opts logic.CheckOptions) (*ShrinkResult, error) {
+	_, span := obs.StartSpan(opts.Ctx, "mutate.shrink")
+	defer span.End()
+
+	var f logic.Formula
+	if v.Kind == legal.RestrictionViolation {
+		f = findRestriction(sp, v.Owner, v.Restriction)
+		if f == nil {
+			return nil, fmt.Errorf("mutate: shrink target %s/%s not in spec", v.Owner, v.Restriction)
+		}
+	}
+	ir := irOf(c)
+	sh := &shrinker{sp: sp, ir: ir, kind: v.Kind, f: f, opts: opts, memo: make(map[string]bool)}
+
+	all := make([]int, len(ir.events))
+	for i := range all {
+		all[i] = i
+	}
+	if !sh.fails(all) {
+		// The violation does not reproduce on the shrinker's rebuild of the
+		// full computation — a campaign finding, not a crash.
+		return nil, fmt.Errorf("mutate: violation %s does not reproduce at full size", v.Kind)
+	}
+	kept := sh.ddmin(all)
+	min, err := sh.build(kept)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShrinkResult{
+		Comp:        min,
+		Events:      len(kept),
+		OrigEvents:  len(ir.events),
+		Kind:        v.Kind,
+		Restriction: v.Restriction,
+		Owner:       v.Owner,
+	}
+	if f != nil {
+		cx := logic.Holds(f, min, sh.opts)
+		if cx == nil {
+			return nil, fmt.Errorf("mutate: shrunk computation no longer fails %s/%s", v.Owner, v.Restriction)
+		}
+		if err := cx.Verify(); err != nil {
+			return nil, fmt.Errorf("mutate: shrunk witness fails Verify: %w", err)
+		}
+		res.Cx = cx
+	}
+	return res, nil
+}
+
+func findRestriction(sp *spec.Spec, owner, name string) logic.Formula {
+	for _, r := range sp.Restrictions() {
+		if r.Owner == owner && r.Name == name {
+			return r.F
+		}
+	}
+	return nil
+}
+
+type shrinker struct {
+	sp   *spec.Spec
+	ir   compIR
+	kind legal.ViolationKind
+	f    logic.Formula // nil for structural kinds
+	opts logic.CheckOptions
+	memo map[string]bool
+}
+
+// build assembles the sub-computation induced by the kept event indices
+// (ascending): the kept events with every direct enable edge between
+// them. A subgraph of a DAG is a DAG, so build only fails if the full
+// computation was already broken.
+func (s *shrinker) build(kept []int) (*core.Computation, error) {
+	idx := make(map[int]int, len(kept))
+	b := core.NewBuilder()
+	for ni, oi := range kept {
+		e := s.ir.events[oi]
+		b.Event(e.element, e.class, e.params)
+		idx[oi] = ni
+	}
+	for _, ed := range s.ir.edges {
+		src, oks := idx[ed[0]]
+		dst, okd := idx[ed[1]]
+		if oks && okd {
+			b.Enable(core.EventID(src), core.EventID(dst))
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	thread.Apply(c, s.sp.Threads()...)
+	return c, nil
+}
+
+// fails reports whether the induced sub-computation still exhibits the
+// target violation. Evaluations are memoized per subset: ddmin re-tests
+// overlapping complements, and on the restriction path each test is a
+// full Holds run.
+func (s *shrinker) fails(kept []int) bool {
+	var sb strings.Builder
+	for _, i := range kept {
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteByte(',')
+	}
+	k := sb.String()
+	if v, ok := s.memo[k]; ok {
+		return v
+	}
+	v := s.failsUncached(kept)
+	s.memo[k] = v
+	return v
+}
+
+func (s *shrinker) failsUncached(kept []int) bool {
+	c, err := s.build(kept)
+	if err != nil {
+		return false
+	}
+	if s.f != nil {
+		return logic.Holds(s.f, c, s.opts) != nil
+	}
+	res := legal.Check(s.sp, c, legal.Options{SkipRestrictions: true})
+	for _, v := range res.Violations {
+		if v.Kind == s.kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ddmin is the classic delta-debugging minimization over the kept set.
+// Chunk boundaries are deterministic functions of the set size, so the
+// whole reduction is reproducible.
+func (s *shrinker) ddmin(cur []int) []int {
+	n := 2
+	for len(cur) >= 2 {
+		reduced := false
+		// Try each chunk alone ("reduce to subset").
+		for i := 0; i < n && !reduced; i++ {
+			ch := chunk(cur, n, i)
+			if len(ch) == 0 || len(ch) == len(cur) {
+				continue
+			}
+			if s.fails(ch) {
+				cur, n, reduced = ch, 2, true
+			}
+		}
+		// Try each complement ("reduce to complement").
+		if !reduced && n > 2 {
+			for i := 0; i < n && !reduced; i++ {
+				co := complement(cur, n, i)
+				if len(co) == 0 || len(co) == len(cur) {
+					continue
+				}
+				if s.fails(co) {
+					cur, reduced = co, true
+					if n--; n < 2 {
+						n = 2
+					}
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // granularity 1: every single removal re-fails → 1-minimal
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// chunk returns the i-th of n contiguous chunks of set.
+func chunk(set []int, n, i int) []int {
+	lo := i * len(set) / n
+	hi := (i + 1) * len(set) / n
+	return set[lo:hi]
+}
+
+// complement returns set minus its i-th chunk.
+func complement(set []int, n, i int) []int {
+	lo := i * len(set) / n
+	hi := (i + 1) * len(set) / n
+	out := make([]int, 0, len(set)-(hi-lo))
+	out = append(out, set[:lo]...)
+	out = append(out, set[hi:]...)
+	return out
+}

@@ -26,6 +26,8 @@ const (
 	kindGuards
 	kindLattice
 	kindSat
+	kindCorpus
+	kindManifest
 )
 
 var (

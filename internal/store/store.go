@@ -155,22 +155,40 @@ func (s *Store) path(key string, kind byte) string {
 	return filepath.Join(s.dir, layoutDir, key[:2], fmt.Sprintf("%s-%d", key, kind))
 }
 
+// touchInterval throttles read-hit mtime refreshes: a record's mtime is
+// only bumped when it is at least this stale, so a hot record costs one
+// utimes per hour instead of one per read.
+const touchInterval = time.Hour
+
 // read fetches and unframes the record for key/kind. Any failure —
 // missing file, corrupt or truncated record, kind mismatch — is reported
 // as a miss; the caller is responsible for hit/miss accounting (a read
 // that succeeds here can still become a miss if the payload fails
 // semantic validation upstream).
+//
+// Trim evicts by mtime, so a successful read refreshes the record's
+// mtime (throttled to touchInterval): without the touch, the hottest
+// records — oldest-written, most-read — are exactly the ones a
+// sustained campaign's Trim evicts first.
 func (s *Store) read(key string, kind byte) ([]byte, bool) {
 	if s == nil || s.mode == Off {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.path(key, kind))
+	path := s.path(key, kind)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	k, payload, err := decodeRecord(data)
 	if err != nil || k != kind {
 		return nil, false
+	}
+	if s.mode == ReadWrite {
+		if info, err := os.Stat(path); err == nil {
+			if now := time.Now(); now.Sub(info.ModTime()) >= touchInterval {
+				_ = os.Chtimes(path, now, now) // best-effort: a failed touch is still a hit
+			}
+		}
 	}
 	return payload, true
 }
@@ -271,10 +289,20 @@ func (s *Store) Trim(budget int64) {
 const DefaultBudget int64 = 1 << 30
 
 // EnvBudget returns the Trim budget configured via GEM_CACHE_BUDGET (in
-// bytes), or 0 — meaning DefaultBudget — when unset or malformed.
-func EnvBudget() int64 {
-	n, err := strconv.ParseInt(os.Getenv("GEM_CACHE_BUDGET"), 10, 64)
+// bytes), or 0 — meaning DefaultBudget — when unset. A malformed or
+// non-positive value also falls back to 0, but emits a one-line warning
+// on warn (nil suppresses it): a misconfigured budget must not look
+// identical to an unset one.
+func EnvBudget(warn io.Writer) int64 {
+	raw := os.Getenv("GEM_CACHE_BUDGET")
+	if raw == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil || n <= 0 {
+		if warn != nil {
+			fmt.Fprintf(warn, "store: ignoring GEM_CACHE_BUDGET=%q (want a positive byte count), using default %d\n", raw, DefaultBudget)
+		}
 		return 0
 	}
 	return n
@@ -306,6 +334,6 @@ func OpenFromFlags(modeStr, dir string, warn io.Writer) (*Store, error) {
 		fmt.Fprintln(warn, "cache disabled:", err)
 		return nil, nil
 	}
-	st.Trim(EnvBudget())
+	st.Trim(EnvBudget(warn))
 	return st, nil
 }

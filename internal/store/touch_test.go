@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// recordPath locates the single on-disk file for a key/kind via the
+// store's layout (test-only helper; production code goes through path).
+func recordPath(t *testing.T, s *Store, key string, kind byte) string {
+	t.Helper()
+	p := s.path(key, kind)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("record %s kind %d not on disk: %v", key, kind, err)
+	}
+	return p
+}
+
+func backdate(t *testing.T, path string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatalf("backdate %s: %v", path, err)
+	}
+}
+
+// A read hit on a record older than touchInterval must refresh its
+// mtime; Trim evicts by mtime, so without the touch the hottest records
+// are evicted first.
+func TestReadHitRefreshesMtime(t *testing.T) {
+	s, err := Open(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := CorpusKey("spec", "fp")
+	s.PutCorpus(k, []byte("payload"))
+	p := recordPath(t, s, k, kindCorpus)
+	backdate(t, p, 2*time.Hour)
+
+	if _, ok := s.GetCorpus(k); !ok {
+		t.Fatal("expected corpus hit")
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age := time.Since(info.ModTime()); age > time.Minute {
+		t.Fatalf("read hit did not refresh mtime: record still %v old", age)
+	}
+}
+
+// Reads younger than touchInterval must not touch: a hot record costs
+// one utimes per interval, not one per read.
+func TestReadHitTouchThrottled(t *testing.T) {
+	s, err := Open(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := CorpusKey("spec", "fp")
+	s.PutCorpus(k, []byte("payload"))
+	p := recordPath(t, s, k, kindCorpus)
+	backdate(t, p, 30*time.Minute)
+	before, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCorpus(k); !ok {
+		t.Fatal("expected corpus hit")
+	}
+	after, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatalf("mtime touched under throttle interval: %v -> %v", before.ModTime(), after.ModTime())
+	}
+}
+
+// The regression the bugfix is for: a just-read record survives a Trim
+// that evicts its never-read sibling, even though the survivor was
+// written first.
+func TestTrimKeepsJustReadRecord(t *testing.T) {
+	s, err := Open(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := CorpusKey("spec", "hot")
+	cold := CorpusKey("spec", "cold")
+	s.PutCorpus(hot, bytes.Repeat([]byte("h"), 64))
+	s.PutCorpus(cold, bytes.Repeat([]byte("c"), 64))
+	hotPath := recordPath(t, s, hot, kindCorpus)
+	coldPath := recordPath(t, s, cold, kindCorpus)
+	// hot is the OLDER record — written first in mtime terms — so under
+	// the pre-fix LRU it would be evicted first despite being read.
+	backdate(t, hotPath, 3*time.Hour)
+	backdate(t, coldPath, 2*time.Hour)
+
+	if _, ok := s.GetCorpus(hot); !ok {
+		t.Fatal("expected corpus hit")
+	}
+	info, err := os.Stat(hotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for exactly one record: Trim must evict one of the two.
+	s.Trim(info.Size())
+
+	if _, err := os.Stat(hotPath); err != nil {
+		t.Fatalf("Trim evicted the just-read record: %v", err)
+	}
+	if _, err := os.Stat(coldPath); !os.IsNotExist(err) {
+		t.Fatalf("Trim kept the never-read sibling (err=%v)", err)
+	}
+	if got := s.Stats().Evictions; got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+}
+
+func TestEnvBudget(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		set   bool
+		want  int64
+		warns bool
+	}{
+		{name: "unset", want: 0, warns: false},
+		{name: "empty", set: true, value: "", want: 0, warns: false},
+		{name: "valid", set: true, value: "123456", want: 123456, warns: false},
+		{name: "malformed", set: true, value: "1.5GB", want: 0, warns: true},
+		{name: "negative", set: true, value: "-4096", want: 0, warns: true},
+		{name: "zero", set: true, value: "0", want: 0, warns: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.set {
+				t.Setenv("GEM_CACHE_BUDGET", tc.value)
+			} else {
+				t.Setenv("GEM_CACHE_BUDGET", "")
+				os.Unsetenv("GEM_CACHE_BUDGET")
+			}
+			var warn bytes.Buffer
+			if got := EnvBudget(&warn); got != tc.want {
+				t.Fatalf("EnvBudget() = %d, want %d", got, tc.want)
+			}
+			if tc.warns != (warn.Len() > 0) {
+				t.Fatalf("warns = %v, want %v (output %q)", warn.Len() > 0, tc.warns, warn.String())
+			}
+		})
+	}
+	// A nil warn writer must not panic on the warning path.
+	t.Setenv("GEM_CACHE_BUDGET", "bogus")
+	if got := EnvBudget(nil); got != 0 {
+		t.Fatalf("EnvBudget(nil) = %d, want 0", got)
+	}
+}
+
+// Corpus and manifest records ride the same framing, integrity, and
+// accounting rules as verdicts: missing and corrupt entries miss, round
+// trips hit.
+func TestCorpusRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := CorpusKey("spechash", "fingerprint")
+	if _, ok := s.GetCorpus(k); ok {
+		t.Fatal("hit on absent corpus entry")
+	}
+	s.PutCorpus(k, []byte("entry"))
+	got, ok := s.GetCorpus(k)
+	if !ok || string(got) != "entry" {
+		t.Fatalf("GetCorpus = %q, %v; want entry, true", got, ok)
+	}
+	s.PutManifest("campaign", []byte("manifest"))
+	got, ok = s.GetManifest("campaign")
+	if !ok || string(got) != "manifest" {
+		t.Fatalf("GetManifest = %q, %v; want manifest, true", got, ok)
+	}
+	// Corrupt the corpus record on disk: must decode to a miss.
+	p := recordPath(t, s, k, kindCorpus)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCorpus(k); ok {
+		t.Fatal("hit on corrupt corpus entry")
+	}
+	// Nil store: every corpus operation is a miss / no-op.
+	var nilStore *Store
+	if _, ok := nilStore.GetCorpus(k); ok {
+		t.Fatal("nil store hit")
+	}
+	nilStore.PutCorpus(k, nil)
+	if _, ok := nilStore.GetManifest("campaign"); ok {
+		t.Fatal("nil store manifest hit")
+	}
+}

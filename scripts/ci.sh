@@ -102,6 +102,20 @@ awk '{$4=""; print}' "$tracedir/warm.out" >"$tracedir/warm.verdicts"
 diff "$tracedir/cold.verdicts" "$tracedir/warm.verdicts"
 # ...and a byte-identical SARIF log.
 cmp "$tracedir/cold.sarif" "$tracedir/warm.sarif"
+echo "==> mutation campaign gate: fixed seed, zero findings, -j1/-j4 byte-identical"
+# A fixed-seed 250-mutant campaign must complete with zero engine
+# disagreements and zero shrinker validation failures (gemmut exits
+# non-zero on any finding), and the report must be a pure function of
+# the seed: identical bytes at any parallelism. -cache off keeps the
+# gate hermetic.
+go build -o "$tracedir/gemmut" ./cmd/gemmut
+"$tracedir/gemmut" -n 250 -seed 7 -j 1 -cache off >"$tracedir/mut.j1.out"
+"$tracedir/gemmut" -n 250 -seed 7 -j 4 -cache off >"$tracedir/mut.j4.out"
+cmp "$tracedir/mut.j1.out" "$tracedir/mut.j4.out"
+grep -q 'findings: none' "$tracedir/mut.j1.out"
+echo "==> mutation corpus smoke: persisted campaign replays with engine agreement"
+"$tracedir/gemmut" -n 250 -seed 7 -j 4 -cache rw -cache-dir "$tracedir/mutcache" >/dev/null
+"$tracedir/gemmut" -replay gemmut -cache rw -cache-dir "$tracedir/mutcache" | grep -q 'engines agree on all'
 echo "==> go test -race $* ./..."
 go test -race "$@" ./...
 echo "==> bench smoke (-short, one iteration per benchmark)"
